@@ -1,0 +1,44 @@
+"""Shared infrastructure for the figure-regeneration benchmarks.
+
+One memoizing :class:`Runner` is shared across every benchmark in the
+session, so the ~dozen figures reuse each other's simulation runs.  The
+workload scale comes from ``REPRO_SCALE`` (default 0.25 — minutes for the
+full set; use 1.0 to approximate the paper's full run sizes).
+
+Sensitivity sweeps (Figs 13(c)/(d), 14(a)/(b), cache) run over a reduced
+three-app subset by default to bound wall-clock time; set
+``REPRO_FULL_SWEEPS=1`` to sweep all six applications as the paper did.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments import APPS, Runner, default_config
+
+#: Apps used by the sensitivity sweeps (one short-idle, one streaming,
+#: one long-idle) unless REPRO_FULL_SWEEPS is set.
+SWEEP_APPS = ("hf", "sar", "wupwise")
+
+
+def sweep_apps() -> tuple[str, ...]:
+    if os.environ.get("REPRO_FULL_SWEEPS"):
+        return APPS
+    return SWEEP_APPS
+
+
+@pytest.fixture(scope="session")
+def runner() -> Runner:
+    return Runner(default_config())
+
+
+def run_once(benchmark, fn):
+    """Execute a figure driver exactly once under pytest-benchmark.
+
+    Figure regeneration is a deterministic simulation, not a microkernel:
+    one round measures it; more rounds would only re-read the runner's
+    memo cache.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

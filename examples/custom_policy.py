@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Writing a custom disk power-management policy.
+
+The policy interface is three callbacks: ``on_idle_start``,
+``on_request_arrival`` and ``on_ramp_complete``.  This example implements
+a *two-level timeout* policy (drop to half speed after a short idle,
+spin down fully after a long one) and races it against the paper's four
+policies — including the perfect-knowledge oracle upper bound — on the
+``wupwise`` workload (the long-idle app, where spin-down has real opportunities).
+
+Run:  python examples/custom_policy.py
+"""
+
+from repro import Session, make_policy
+from repro.experiments import default_config
+from repro.ir import trace_program
+from repro.metrics import fleet_energy
+from repro.power import OracleSpinDown, PowerPolicy
+from repro.workloads import get_workload
+
+
+class TwoLevelTimeout(PowerPolicy):
+    """Half speed after ``rpm_timeout`` idle; standby after ``spin_timeout``."""
+
+    name = "two-level"
+
+    def __init__(self, rpm_timeout: float = 5.0, spin_timeout: float = 60.0):
+        super().__init__()
+        self.rpm_timeout = rpm_timeout
+        self.spin_timeout = spin_timeout
+
+    def on_idle_start(self, now: float) -> None:
+        self._arm_timer(self.rpm_timeout, self._drop_speed)
+
+    def _drop_speed(self) -> None:
+        self._timer = None
+        drive = self.drive
+        if not drive.is_idle or drive.is_standby:
+            return
+        levels = drive.spec.rpm_levels
+        half = levels[len(levels) // 2]
+        if drive.current_rpm > half:
+            drive.request_rpm(half)
+        self._arm_timer(self.spin_timeout - self.rpm_timeout, self._spin_down)
+
+    def _spin_down(self) -> None:
+        self._timer = None
+        if self.drive.is_idle and not self.drive.is_transitioning:
+            self.drive.spin_down()
+
+    def on_request_arrival(self, now: float) -> None:
+        self._cancel_timer()
+        if not self.drive.is_standby:
+            self.drive.request_rpm(self.drive.spec.max_rpm)
+
+
+SCALE = 0.15
+config = default_config(scale=SCALE)
+program = get_workload("wupwise").build(n_processes=config.n_clients, scale=SCALE)
+trace = trace_program(program)
+
+
+def run(policy_factory, multispeed: bool):
+    session = Session(
+        trace,
+        config.disk_spec(multispeed),
+        policy_factory,
+        config.session_config(),
+    )
+    outcome = session.run()
+    return outcome, outcome.execution_time
+
+
+# Baseline for normalization + the oracle's idle knowledge.
+base_outcome, base_time = run(lambda: make_policy("default"), multispeed=False)
+base_energy = fleet_energy(base_outcome.drives, base_time)
+oracle_knowledge = [d.idle_period_intervals() for d in base_outcome.drives]
+
+print(f"wupwise @ scale {SCALE}: baseline {base_time:.0f}s, "
+      f"{base_energy / 1000:.1f} kJ\n")
+print(f"{'policy':<12} {'energy saving':>14} {'perf impact':>12}")
+
+contenders = [
+    ("simple", lambda: make_policy("simple", timeout=config.simple_timeout), False),
+    ("prediction", lambda: make_policy("prediction"), False),
+    ("history", lambda: make_policy("history"), True),
+    ("staggered", lambda: make_policy(
+        "staggered", step_timeout=config.staggered_step), True),
+    ("two-level", lambda: TwoLevelTimeout(), True),
+]
+for name, factory, multispeed in contenders:
+    outcome, exec_time = run(factory, multispeed)
+    energy = fleet_energy(outcome.drives, exec_time)
+    print(f"{name:<12} {1 - energy / base_energy:>13.1%} "
+          f"{exec_time / base_time - 1:>11.1%}")
+
+# Oracle: replays perfect idle knowledge per drive.
+knowledge_iter = iter(oracle_knowledge)
+outcome, exec_time = run(
+    lambda: OracleSpinDown(next(knowledge_iter)), multispeed=False
+)
+energy = fleet_energy(outcome.drives, exec_time)
+print(f"{'oracle':<12} {1 - energy / base_energy:>13.1%} "
+      f"{exec_time / base_time - 1:>11.1%}   (upper bound, spin-down only)")

@@ -1,0 +1,101 @@
+"""repro — Software-Directed Data Access Scheduling for Reducing Disk
+Energy Consumption (ICDCS 2012), reproduced as a Python library.
+
+The package provides:
+
+* :mod:`repro.core` — the paper's contribution: access-signature-driven
+  I/O scheduling (slack determination, basic/extended/θ-constrained
+  algorithms, scheduling tables, compiler driver);
+* :mod:`repro.ir` — the loop-nest program IR and both slack-extraction
+  paths (polyhedral-style and profiling);
+* :mod:`repro.sim`, :mod:`repro.disk`, :mod:`repro.storage`,
+  :mod:`repro.net`, :mod:`repro.runtime` — the simulation substrate
+  (event engine, DiskSim-like drives with power states, PVFS-like striped
+  storage with per-node caches, interconnect, MPI-IO-like runtime with
+  prefetching scheduler threads);
+* :mod:`repro.power` — the four disk power-management policies evaluated
+  in the paper plus the no-op baseline and an oracle;
+* :mod:`repro.workloads` — the six application models of Table III;
+* :mod:`repro.experiments` — one driver per table/figure of §V.
+
+Quick start::
+
+    from repro.experiments import make_runner, fig12c
+    runner = make_runner()
+    print(fig12c(runner).text)
+"""
+
+from .core import (
+    BasicScheduler,
+    CompileResult,
+    CompilerOptions,
+    DataAccess,
+    ExtendedScheduler,
+    ScheduleBook,
+    ThetaConstrainedScheduler,
+    compile_schedule,
+)
+from .disk import TABLE2_DISK, DiskRequest, DiskSpec, Drive, table2_multispeed_spec
+from .experiments import ExperimentConfig, Runner, default_config, make_runner
+from .ir import Compute, FileDecl, Loop, Program, Read, Write, trace_program
+from .power import (
+    HistoryBasedMultiSpeed,
+    NoPowerManagement,
+    PredictionSpinDown,
+    SimpleSpinDown,
+    StaggeredMultiSpeed,
+    make_policy,
+)
+from .runtime import Session, SessionConfig
+from .sim import Simulator
+from .storage import ParallelFileSystem, StripedFile, StripeMap
+from .workloads import all_workloads, get_workload
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # core
+    "compile_schedule",
+    "CompilerOptions",
+    "CompileResult",
+    "DataAccess",
+    "BasicScheduler",
+    "ExtendedScheduler",
+    "ThetaConstrainedScheduler",
+    "ScheduleBook",
+    # ir
+    "Program",
+    "FileDecl",
+    "Loop",
+    "Read",
+    "Write",
+    "Compute",
+    "trace_program",
+    # substrate
+    "Simulator",
+    "DiskSpec",
+    "TABLE2_DISK",
+    "table2_multispeed_spec",
+    "Drive",
+    "DiskRequest",
+    "ParallelFileSystem",
+    "StripeMap",
+    "StripedFile",
+    "Session",
+    "SessionConfig",
+    # power
+    "make_policy",
+    "NoPowerManagement",
+    "SimpleSpinDown",
+    "PredictionSpinDown",
+    "HistoryBasedMultiSpeed",
+    "StaggeredMultiSpeed",
+    # workloads & experiments
+    "get_workload",
+    "all_workloads",
+    "Runner",
+    "ExperimentConfig",
+    "default_config",
+    "make_runner",
+]

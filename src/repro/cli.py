@@ -1,0 +1,201 @@
+"""Command-line interface.
+
+Four subcommands:
+
+* ``list`` — the registered workloads and policies;
+* ``run`` — simulate one (workload, policy, scheme) combination and print
+  the measured energy, performance and idle statistics;
+* ``figure`` — regenerate one table/figure of the paper's evaluation;
+* ``schedule`` — compile a workload's I/O schedule and print its stats
+  (and, with ``--timeline``, an ASCII view of the per-node access
+  density before and after scheduling).
+
+Examples::
+
+    python -m repro list
+    python -m repro run --app sar --policy history --scheme --scale 0.1
+    python -m repro figure fig12c --scale 0.1
+    python -m repro schedule --app hf --scale 0.1 --timeline
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from .experiments import (
+    APPS,
+    POLICIES,
+    Runner,
+    default_config,
+    cache_sensitivity,
+    fig12a,
+    fig12b,
+    fig12c,
+    fig12d,
+    fig13a,
+    fig13b,
+    fig13c,
+    fig13d,
+    fig14a,
+    fig14b,
+    table2_rows,
+    table3,
+)
+from .metrics import format_percent, format_table
+from .workloads import all_workloads
+
+__all__ = ["main"]
+
+FIGURES = {
+    "table2": lambda runner: table2_rows(runner.config),
+    "table3": table3,
+    "fig12a": fig12a,
+    "fig12b": fig12b,
+    "fig12c": fig12c,
+    "fig12d": fig12d,
+    "fig13a": fig13a,
+    "fig13b": fig13b,
+    "fig13c": fig13c,
+    "fig13d": fig13d,
+    "fig14a": fig14a,
+    "fig14b": fig14b,
+    "cache": cache_sensitivity,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Software-directed data access scheduling (ICDCS 2012) "
+        "— reproduction harness",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list workloads and policies")
+
+    run_p = sub.add_parser("run", help="simulate one configuration")
+    run_p.add_argument("--app", required=True, choices=APPS)
+    run_p.add_argument(
+        "--policy", default="default", choices=("default",) + POLICIES
+    )
+    run_p.add_argument("--scheme", action="store_true",
+                       help="enable the compiler-directed scheduling")
+    run_p.add_argument("--scale", type=float, default=None,
+                       help="workload scale (default: REPRO_SCALE or 0.25)")
+    run_p.add_argument("--clients", type=int, default=None)
+    run_p.add_argument("--ionodes", type=int, default=None)
+    run_p.add_argument("--delta", type=int, default=None)
+    run_p.add_argument("--theta", type=int, default=None)
+
+    fig_p = sub.add_parser("figure", help="regenerate a paper table/figure")
+    fig_p.add_argument("name", choices=sorted(FIGURES))
+    fig_p.add_argument("--scale", type=float, default=None)
+
+    sched_p = sub.add_parser("schedule", help="compile and inspect a schedule")
+    sched_p.add_argument("--app", required=True, choices=APPS)
+    sched_p.add_argument("--scale", type=float, default=None)
+    sched_p.add_argument("--timeline", action="store_true",
+                         help="print per-node I/O density before/after")
+    sched_p.add_argument("--width", type=int, default=72,
+                         help="timeline width in columns")
+    return parser
+
+
+def _config(args) -> "ExperimentConfig":
+    cfg = default_config(scale=args.scale)
+    overrides = {}
+    for field, attr in (
+        ("n_clients", "clients"),
+        ("n_ionodes", "ionodes"),
+        ("delta", "delta"),
+        ("theta", "theta"),
+    ):
+        value = getattr(args, attr, None)
+        if value is not None:
+            overrides[field] = value
+    return cfg.scaled(**overrides) if overrides else cfg
+
+
+def cmd_list(_args, out) -> int:
+    rows = [(w.name, "affine" if w.affine else "profiled", w.description)
+            for w in all_workloads()]
+    print(format_table(("workload", "slack path", "description"), rows),
+          file=out)
+    print(file=out)
+    print("policies: default " + " ".join(POLICIES), file=out)
+    return 0
+
+
+def cmd_run(args, out) -> int:
+    cfg = _config(args)
+    runner = Runner(cfg)
+    base = runner.baseline(args.app)
+    run = runner.run(args.app, args.policy, args.scheme)
+    rows = [
+        ("execution time", f"{run.execution_time:.1f} s"),
+        ("disk energy", f"{run.energy_joules:,.1f} J"),
+        ("vs default energy",
+         format_percent(run.energy_joules / base.energy_joules)),
+        ("energy saving",
+         format_percent(1 - run.energy_joules / base.energy_joules)),
+        ("perf degradation",
+         format_percent(run.execution_time / base.execution_time - 1)),
+        ("idle periods", run.idle_cdf.count),
+        ("mean idle period", f"{run.idle_cdf.mean_seconds:.2f} s"),
+        ("idle ≤100ms", format_percent(run.idle_cdf.fraction_at_most(100))),
+        ("idle ≤5s", format_percent(run.idle_cdf.fraction_at_most(5000))),
+    ]
+    if args.scheme:
+        rows.append(("prefetches", run.prefetches))
+        rows.append(("buffer hits", run.buffer_hits))
+    title = (
+        f"{args.app} / {args.policy} / "
+        f"{'with' if args.scheme else 'without'} scheme "
+        f"(scale {cfg.workload_scale})"
+    )
+    print(format_table(("metric", "value"), rows, title=title), file=out)
+    return 0
+
+
+def cmd_figure(args, out) -> int:
+    cfg = default_config(scale=args.scale)
+    runner = Runner(cfg)
+    result = FIGURES[args.name](runner)
+    print(result.text, file=out)
+    return 0
+
+
+def cmd_schedule(args, out) -> int:
+    from .viz import access_density_timeline
+
+    cfg = _config(args)
+    runner = Runner(cfg)
+    compiled = runner.compilation(args.app)
+    stats = compiled.stats()
+    rows = [(k, f"{v:.1f}" if isinstance(v, float) else v)
+            for k, v in stats.items()]
+    print(format_table(("stat", "value"), rows,
+                       title=f"schedule for {args.app}"), file=out)
+    if args.timeline:
+        print(file=out)
+        print(access_density_timeline(compiled, width=args.width), file=out)
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
+    """Entry point; returns the process exit code."""
+    out = out or sys.stdout
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "list": cmd_list,
+        "run": cmd_run,
+        "figure": cmd_figure,
+        "schedule": cmd_schedule,
+    }
+    return handlers[args.command](args, out)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

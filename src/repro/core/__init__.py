@@ -1,0 +1,50 @@
+"""The paper's primary contribution: compiler-directed I/O scheduling.
+
+Pipeline: signatures (:mod:`signature`) → slack determination
+(:mod:`slack`) → scheduling (:mod:`basic` / :mod:`extended` / :mod:`perf`)
+→ per-process tables (:mod:`table`), driven by
+:func:`compile_schedule`.
+"""
+
+from .access import DataAccess
+from .basic import BasicScheduler, ScheduleState
+from .compiler import CompileResult, CompilerOptions, compile_schedule
+from .extended import ExtendedScheduler
+from .perf import ThetaConstrainedScheduler, make_scheduler, mean_excess
+from .signature import (
+    ZERO_DISTANCE_INVERSE,
+    difference,
+    distance,
+    group_signature,
+    inverse_distance,
+    signature_bits,
+    signature_from_nodes,
+    similarity,
+)
+from .slack import SlackOptions, determine_slacks
+from .table import ScheduleBook, ScheduleTable
+
+__all__ = [
+    "DataAccess",
+    "BasicScheduler",
+    "ExtendedScheduler",
+    "ThetaConstrainedScheduler",
+    "ScheduleState",
+    "make_scheduler",
+    "mean_excess",
+    "CompilerOptions",
+    "CompileResult",
+    "compile_schedule",
+    "SlackOptions",
+    "determine_slacks",
+    "ScheduleBook",
+    "ScheduleTable",
+    "similarity",
+    "difference",
+    "distance",
+    "inverse_distance",
+    "group_signature",
+    "signature_bits",
+    "signature_from_nodes",
+    "ZERO_DISTANCE_INVERSE",
+]

@@ -1,0 +1,79 @@
+"""The scheduler's unit of work: one data access with its slack window.
+
+A :class:`DataAccess` corresponds to one dynamic read I/O call (the
+framework prefetches reads; writes stay at their program points and only
+act as slack producers).  It carries the paper's per-access inputs: begin
+and end of the slack window (``a.b``/``a.e``), the signature ``a.g``, the
+owning process (``a.id``) and — for the extended algorithm — the length in
+slots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = ["DataAccess"]
+
+
+@dataclass
+class DataAccess:
+    """One schedulable read access."""
+
+    aid: int                      # stable identity
+    process: int                  # a.id — issuing process
+    original_slot: int            # i_r: where the program consumes the data
+    begin: int                    # a.b: earliest legal slot
+    end: int                      # a.e: latest legal slot
+    signature: int                # a.g: I/O-node bitmask
+    length: int = 1               # slots the access occupies (extended alg.)
+    nbytes: int = 0               # total payload
+    file: str = ""                # provenance (for the runtime table)
+    block: int = 0
+    blocks: int = 1
+    producer: Optional[tuple[int, int]] = None  # (slot, process) of last write
+
+    # Filled in by a scheduler:
+    scheduled_slot: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.begin > self.end:
+            raise ValueError(
+                f"access {self.aid}: empty slack window [{self.begin}, {self.end}]"
+            )
+        if self.length < 1:
+            raise ValueError(f"access {self.aid}: length must be >= 1")
+        if self.signature == 0:
+            raise ValueError(f"access {self.aid}: empty signature")
+
+    @property
+    def slack_length(self) -> int:
+        """Window size in slots (a.e − a.b + 1) — the sort key of the
+        scheduling algorithms (shortest slack first)."""
+        return self.end - self.begin + 1
+
+    @property
+    def is_scheduled(self) -> bool:
+        return self.scheduled_slot is not None
+
+    @property
+    def is_early_prefetch(self) -> bool:
+        """True when the chosen slot precedes the consuming iteration —
+        i.e. the runtime scheduler must actually prefetch and buffer it."""
+        return (
+            self.scheduled_slot is not None
+            and self.scheduled_slot < self.original_slot
+        )
+
+    def occupied_slots(self) -> range:
+        """Slots [t, t+length) this access occupies once scheduled."""
+        if self.scheduled_slot is None:
+            raise ValueError(f"access {self.aid} is not scheduled")
+        return range(self.scheduled_slot, self.scheduled_slot + self.length)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        sched = f"@{self.scheduled_slot}" if self.is_scheduled else "unscheduled"
+        return (
+            f"DataAccess(a{self.aid}, p{self.process}, "
+            f"[{self.begin},{self.end}], len={self.length}, {sched})"
+        )

@@ -1,0 +1,75 @@
+"""Access signatures and the I/O-node reuse distance metric (§IV-B).
+
+A signature is a bitmask over the *n* I/O nodes: bit *i* is set iff the
+access visits node *i*.  The distance between two signatures is
+
+    distance(g1, g2) = n − similarity(g1, g2) + difference(g1, g2)
+
+where *similarity* counts positions where both bits are 1 (active nodes
+that get reused) and *difference* counts differing bits (extra nodes that
+must be turned on).  Smaller distance ⇒ better reuse, so the reuse factor
+uses ``1/distance`` — with the paper's special case ``1/0 := 2``.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "similarity",
+    "difference",
+    "distance",
+    "inverse_distance",
+    "group_signature",
+    "signature_bits",
+    "signature_from_nodes",
+    "ZERO_DISTANCE_INVERSE",
+]
+
+#: The paper's convention: when two signatures coincide exactly
+#: (distance 0), the reuse term 1/d is taken to be 2.
+ZERO_DISTANCE_INVERSE = 2.0
+
+
+def similarity(g1: int, g2: int) -> int:
+    """Number of I/O nodes used by *both* accesses."""
+    return (g1 & g2).bit_count()
+
+
+def difference(g1: int, g2: int) -> int:
+    """Number of bit positions where the signatures differ."""
+    return (g1 ^ g2).bit_count()
+
+
+def distance(g1: int, g2: int, n_nodes: int) -> int:
+    """The paper's signature distance (§IV-B)."""
+    return n_nodes - similarity(g1, g2) + difference(g1, g2)
+
+
+def inverse_distance(g1: int, g2: int, n_nodes: int) -> float:
+    """``1/distance`` with the paper's ``1/0 := 2`` convention."""
+    d = distance(g1, g2, n_nodes)
+    if d == 0:
+        return ZERO_DISTANCE_INVERSE
+    return 1.0 / d
+
+
+def group_signature(signatures: list[int]) -> int:
+    """Group active signature G = g₁ | g₂ | … (bitwise OR)."""
+    g = 0
+    for sig in signatures:
+        g |= sig
+    return g
+
+
+def signature_bits(signature: int, n_nodes: int) -> list[int]:
+    """The η-bit vector [η₀ … η_{n−1}], node 0 first."""
+    return [(signature >> i) & 1 for i in range(n_nodes)]
+
+
+def signature_from_nodes(nodes, n_nodes: int) -> int:
+    """Build a signature from an iterable of node indices."""
+    sig = 0
+    for node in nodes:
+        if not 0 <= node < n_nodes:
+            raise ValueError(f"node {node} outside [0, {n_nodes})")
+        sig |= 1 << node
+    return sig

@@ -1,0 +1,92 @@
+"""Scheduling tables — the compiler's output artifact (§III).
+
+The compiler "records this information in a table for each application
+process"; the runtime data access scheduler walks its process's table slot
+by slot and issues the prefetches.  :class:`ScheduleTable` is that
+per-process table; :class:`ScheduleBook` bundles one per process plus the
+metadata the runtime needs (slot horizon, access lookup).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from .access import DataAccess
+
+__all__ = ["ScheduleTable", "ScheduleBook"]
+
+
+@dataclass
+class ScheduleTable:
+    """Slot → scheduled accesses for one process."""
+
+    process: int
+    by_slot: dict[int, list[DataAccess]] = field(default_factory=dict)
+
+    def add(self, access: DataAccess) -> None:
+        if access.scheduled_slot is None:
+            raise ValueError(f"access {access.aid} has no scheduled slot")
+        if access.process != self.process:
+            raise ValueError(
+                f"access {access.aid} belongs to process {access.process}, "
+                f"not {self.process}"
+            )
+        self.by_slot.setdefault(access.scheduled_slot, []).append(access)
+
+    def at(self, slot: int) -> list[DataAccess]:
+        return self.by_slot.get(slot, [])
+
+    def slots(self) -> list[int]:
+        return sorted(self.by_slot)
+
+    def __iter__(self) -> Iterator[tuple[int, list[DataAccess]]]:
+        for slot in self.slots():
+            yield slot, self.by_slot[slot]
+
+    def __len__(self) -> int:
+        return sum(len(v) for v in self.by_slot.values())
+
+
+@dataclass
+class ScheduleBook:
+    """All per-process tables for one compiled program."""
+
+    tables: dict[int, ScheduleTable]
+    n_slots: int
+
+    @classmethod
+    def from_accesses(
+        cls, accesses: list[DataAccess], n_processes: int, n_slots: int
+    ) -> "ScheduleBook":
+        tables = {p: ScheduleTable(process=p) for p in range(n_processes)}
+        for access in accesses:
+            if access.scheduled_slot is None:
+                raise ValueError(f"access {access.aid} was never scheduled")
+            tables[access.process].add(access)
+        return cls(tables=tables, n_slots=n_slots)
+
+    def table_for(self, process: int) -> ScheduleTable:
+        if process not in self.tables:
+            raise KeyError(f"no table for process {process}")
+        return self.tables[process]
+
+    def all_accesses(self) -> list[DataAccess]:
+        out = [a for t in self.tables.values() for accs in t.by_slot.values() for a in accs]
+        out.sort(key=lambda a: a.aid)
+        return out
+
+    def access_count(self) -> int:
+        return sum(len(t) for t in self.tables.values())
+
+    def moved_count(self) -> int:
+        """Accesses the compiler actually relocated (prefetches)."""
+        return sum(
+            1 for a in self.all_accesses() if a.scheduled_slot != a.original_slot
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"ScheduleBook({len(self.tables)} processes, "
+            f"{self.access_count()} accesses, {self.moved_count()} moved)"
+        )

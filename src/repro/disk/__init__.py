@@ -1,0 +1,25 @@
+"""Disk drive model with detailed power accounting (DiskSim substitute).
+
+Public surface: :class:`DiskSpec` (drive parameters, Table II defaults),
+:class:`Drive` (event-driven drive with elevator queueing and power states),
+:class:`DiskRequest`, and the power accounting helpers.
+"""
+
+from .drive import DiskRequest, Drive, DriveStats
+from .mechanics import ServiceComponents, lba_to_cylinder, service_components
+from .power import DiskPowerModel, EnergyBreakdown
+from .specs import TABLE2_DISK, DiskSpec, table2_multispeed_spec
+
+__all__ = [
+    "DiskSpec",
+    "TABLE2_DISK",
+    "table2_multispeed_spec",
+    "Drive",
+    "DiskRequest",
+    "DriveStats",
+    "DiskPowerModel",
+    "EnergyBreakdown",
+    "ServiceComponents",
+    "service_components",
+    "lba_to_cylinder",
+]

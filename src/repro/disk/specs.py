@@ -1,0 +1,200 @@
+"""Disk drive specification records.
+
+:class:`DiskSpec` carries every timing and power parameter the drive model
+needs.  The defaults reproduce Table II of the paper (a 100 GB server disk
+at 12,000 RPM with Ultra-3 SCSI-era characteristics); the multi-speed
+variant adds the DRPM speed ladder (3,600..12,000 RPM in 1,200 RPM steps)
+with the quadratic power model of Eq. 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional
+
+__all__ = ["DiskSpec", "TABLE2_DISK", "table2_multispeed_spec"]
+
+KB = 1024
+MB = 1024 * KB
+GB = 1024 * MB
+
+
+@dataclass(frozen=True)
+class DiskSpec:
+    """Static characteristics of one disk drive.
+
+    Powers are in watts, times in seconds, sizes in bytes.  The power values
+    are specified at ``max_rpm``; multi-speed operation scales them with the
+    quadratic model ``P(rpm) = P_max * (rpm / max_rpm)**2`` (Eq. 1 in the
+    paper — motor power goes with the square of angular velocity).
+    """
+
+    name: str = "table2-disk"
+    capacity_bytes: int = 100 * GB
+
+    # Rotation.
+    max_rpm: int = 12_000
+    min_rpm: int = 12_000           # == max_rpm for a single-speed disk
+    rpm_step: int = 1_200
+    rpm_change_time_per_step: float = 2.0    # DRPM-class ramp per 1200 RPM step
+
+    # Mechanics (single-speed reference values at max_rpm).
+    avg_seek_time: float = 0.0047   # 4.7 ms average seek
+    min_seek_time: float = 0.0008   # track-to-track
+    max_seek_time: float = 0.0105   # full stroke
+    head_switch_time: float = 0.0008
+    sectors_per_track: int = 1024
+    sector_bytes: int = 512
+    cylinders: int = 65_536
+    internal_transfer_mbps: float = 85.0  # MB/s sustained media rate at max_rpm
+
+    # Power at max_rpm (Table II).
+    idle_power: float = 17.1
+    active_power: float = 36.6
+    seek_power: float = 32.1
+    standby_power: float = 7.2
+    spin_up_power: float = 44.8
+    spin_down_power: float = 10.0   # motor braking draw, DiskSim-style default
+
+    # Spin transitions (Table II).
+    spin_up_time: float = 16.0
+    spin_down_time: float = 10.0
+
+    # Controller cache / bus.
+    bus: str = "ultra3-scsi"
+    bus_bandwidth_mbps: float = 160.0
+
+    def __post_init__(self) -> None:
+        if self.min_rpm > self.max_rpm:
+            raise ValueError("min_rpm must not exceed max_rpm")
+        if self.rpm_step <= 0:
+            raise ValueError("rpm_step must be positive")
+        if (self.max_rpm - self.min_rpm) % self.rpm_step != 0:
+            raise ValueError("RPM range must be a multiple of rpm_step")
+
+    # ------------------------------------------------------------------
+    # Speed ladder
+    # ------------------------------------------------------------------
+    @property
+    def rpm_levels(self) -> tuple[int, ...]:
+        """Available speeds, fastest first (RPM1 = fastest, as in Fig. 3)."""
+        return tuple(
+            range(self.max_rpm, self.min_rpm - 1, -self.rpm_step)
+        )
+
+    @property
+    def is_multispeed(self) -> bool:
+        return self.min_rpm < self.max_rpm
+
+    def rpm_scale(self, rpm: int) -> float:
+        """Quadratic motor-power scale factor for ``rpm`` (Eq. 1)."""
+        return (rpm / self.max_rpm) ** 2
+
+    def idle_power_at(self, rpm: int) -> float:
+        return self.idle_power * self.rpm_scale(rpm)
+
+    def active_power_at(self, rpm: int) -> float:
+        """R/W power at ``rpm``: the motor part scales quadratically, the
+        electronics/arm part (the delta above idle) stays fixed."""
+        electronics = self.active_power - self.idle_power
+        return self.idle_power_at(rpm) + electronics
+
+    def seek_power_at(self, rpm: int) -> float:
+        electronics = self.seek_power - self.idle_power
+        return self.idle_power_at(rpm) + electronics
+
+    def rpm_change_time(self, rpm_from: int, rpm_to: int) -> float:
+        """Time to ramp between two speeds, linear in the RPM delta."""
+        steps = abs(rpm_from - rpm_to) / self.rpm_step
+        return steps * self.rpm_change_time_per_step
+
+    def rpm_change_power(self, rpm_from: int, rpm_to: int) -> float:
+        """Power while ramping one step.
+
+        Accelerating a single 1,200 RPM step needs only a modest torque
+        boost above the target speed's windage (unlike a full spin-up from
+        rest); decelerating coasts at roughly the windage of the speed
+        being passed through.
+        """
+        if rpm_to > rpm_from:
+            # Torque to accelerate grows with the target speed's drag.
+            boost = 0.6 * (self.spin_up_power - self.idle_power) * self.rpm_scale(rpm_to)
+            return self.idle_power_at(rpm_to) + boost
+        return self.idle_power_at(rpm_to)
+
+    # ------------------------------------------------------------------
+    # Timing
+    # ------------------------------------------------------------------
+    def rotation_time(self, rpm: Optional[int] = None) -> float:
+        """One full platter revolution at ``rpm`` (default: max speed)."""
+        rpm = rpm or self.max_rpm
+        return 60.0 / rpm
+
+    def avg_rotational_latency(self, rpm: Optional[int] = None) -> float:
+        """Expected rotational delay: half a revolution."""
+        return self.rotation_time(rpm) / 2.0
+
+    def transfer_rate(self, rpm: Optional[int] = None) -> float:
+        """Sustained media transfer rate in bytes/s at ``rpm``.
+
+        Media rate is linear in RPM (same bits pass under the head per
+        revolution)."""
+        rpm = rpm or self.max_rpm
+        return self.internal_transfer_mbps * 1e6 * (rpm / self.max_rpm)
+
+    def transfer_time(self, nbytes: int, rpm: Optional[int] = None) -> float:
+        """Media transfer time for ``nbytes`` at ``rpm``, bus-capped."""
+        media = nbytes / self.transfer_rate(rpm)
+        bus = nbytes / (self.bus_bandwidth_mbps * 1e6)
+        return max(media, bus)
+
+    def seek_time(self, distance_fraction: float) -> float:
+        """Seek time for a seek spanning ``distance_fraction`` of the
+        cylinders (0..1), using the standard sqrt + linear curve."""
+        if distance_fraction <= 0:
+            return 0.0
+        frac = min(distance_fraction, 1.0)
+        sqrt_part = (self.avg_seek_time - self.min_seek_time) * (frac / (1.0 / 3.0)) ** 0.5
+        if frac <= 1.0 / 3.0:
+            return self.min_seek_time + sqrt_part
+        linear_span = self.max_seek_time - self.avg_seek_time
+        return self.avg_seek_time + linear_span * (frac - 1.0 / 3.0) / (2.0 / 3.0)
+
+    # ------------------------------------------------------------------
+    # Energies of fixed transitions
+    # ------------------------------------------------------------------
+    @property
+    def spin_up_energy(self) -> float:
+        return self.spin_up_power * self.spin_up_time
+
+    @property
+    def spin_down_energy(self) -> float:
+        return self.spin_down_power * self.spin_down_time
+
+    def breakeven_idle_seconds(self) -> float:
+        """Minimum idle length G for which a spin-down saves energy.
+
+        Solves  idle_power·G = E_down + E_up + standby·(G − t_down − t_up)
+        for G (and G can never be shorter than the transitions themselves).
+        Below this an attempted spin-down *costs* energy."""
+        transition_e = self.spin_up_energy + self.spin_down_energy
+        transition_t = self.spin_up_time + self.spin_down_time
+        saved_per_s = self.idle_power - self.standby_power
+        if saved_per_s <= 0:
+            return float("inf")
+        neutral = (transition_e - self.standby_power * transition_t) / saved_per_s
+        return max(neutral, transition_t)
+
+    def with_multispeed(self, min_rpm: int = 3_600, rpm_step: int = 1_200) -> "DiskSpec":
+        """A copy of this spec with the DRPM speed ladder enabled."""
+        return replace(self, min_rpm=min_rpm, rpm_step=rpm_step)
+
+
+#: The paper's Table II disk, single-speed.
+TABLE2_DISK = DiskSpec()
+
+
+def table2_multispeed_spec() -> DiskSpec:
+    """Table II disk with the multi-speed parameters enabled
+    (minimum 3,600 RPM, 1,200 RPM step, quadratic power model)."""
+    return TABLE2_DISK.with_multispeed(min_rpm=3_600, rpm_step=1_200)

@@ -1,0 +1,211 @@
+"""The experiment runner: one (workload, policy, scheme) → measurements.
+
+Builds the trace, optionally compiles the schedule (once per workload ×
+compiler-config; compilation is policy-independent), assembles a
+:class:`~repro.runtime.session.Session`, runs it, and distils the metrics
+every figure consumes.  Results and compilations are memoized per
+configuration so the figure functions can share runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..core.compiler import CompileResult, CompilerOptions, compile_schedule
+from ..core.slack import SlackOptions
+from ..ir.profiling import AccessTrace, trace_program
+from ..metrics.energy import breakdown_until, fleet_energy, idle_periods_until
+from ..metrics.idle import IdleCDF, idle_cdf
+from ..power import (
+    HistoryBasedMultiSpeed,
+    NoPowerManagement,
+    PredictionSpinDown,
+    SimpleSpinDown,
+    StaggeredMultiSpeed,
+)
+from ..runtime.session import Session
+from ..workloads import get_workload
+from .config import ExperimentConfig
+
+__all__ = ["RunResult", "Runner", "POLICIES", "MULTISPEED_POLICIES"]
+
+POLICIES = ("simple", "prediction", "history", "staggered")
+MULTISPEED_POLICIES = frozenset({"history", "staggered"})
+
+
+@dataclass
+class RunResult:
+    """Distilled measurements of one run."""
+
+    workload: str
+    policy: str
+    scheme: bool
+    execution_time: float
+    energy_joules: float
+    idle_cdf: IdleCDF
+    idle_periods: list[float]
+    energy_breakdown: dict[str, float]
+    buffer_hits: int
+    prefetches: int
+    accesses: int
+
+
+class Runner:
+    """Memoizing experiment driver for one base configuration."""
+
+    def __init__(self, config: ExperimentConfig):
+        self.config = config
+        self._traces: dict[tuple, AccessTrace] = {}
+        self._compilations: dict[tuple, CompileResult] = {}
+        self._runs: dict[tuple, RunResult] = {}
+
+    # ------------------------------------------------------------------
+    # Cached building blocks
+    # ------------------------------------------------------------------
+    def trace(self, workload: str, config: Optional[ExperimentConfig] = None) -> AccessTrace:
+        cfg = config or self.config
+        key = (workload, cfg.n_clients, cfg.workload_scale, cfg.granularity)
+        if key not in self._traces:
+            program = get_workload(workload).build(
+                n_processes=cfg.n_clients, scale=cfg.workload_scale
+            )
+            self._traces[key] = trace_program(
+                program, granularity=cfg.granularity
+            )
+        return self._traces[key]
+
+    def compilation(
+        self, workload: str, config: Optional[ExperimentConfig] = None
+    ) -> CompileResult:
+        cfg = config or self.config
+        key = (
+            workload,
+            cfg.n_clients,
+            cfg.workload_scale,
+            cfg.granularity,
+            cfg.n_ionodes,
+            cfg.stripe_size,
+            cfg.delta,
+            cfg.theta,
+            cfg.max_slack,
+        )
+        if key not in self._compilations:
+            trace = self.trace(workload, cfg)
+            # Build the striping view the compiler schedules against.
+            from ..storage.striping import StripedFile, StripeMap
+
+            stripe_map = StripeMap(cfg.stripe_size, cfg.n_ionodes)
+            files = {
+                name: StripedFile(name, decl.size_bytes)
+                for name, decl in trace.program.files.items()
+            }
+            options = CompilerOptions(
+                delta=cfg.delta,
+                theta=cfg.theta,
+                granularity=cfg.granularity,
+                slack=SlackOptions(max_slack=cfg.max_slack),
+            )
+            self._compilations[key] = compile_schedule(
+                trace.program, stripe_map, files, options, trace=trace
+            )
+        return self._compilations[key]
+
+    # ------------------------------------------------------------------
+    # Policy factory
+    # ------------------------------------------------------------------
+    def _policy_factory(self, policy: str, cfg: ExperimentConfig):
+        if policy == "default":
+            return lambda: NoPowerManagement()
+        if policy == "simple":
+            return lambda: SimpleSpinDown(timeout=cfg.simple_timeout)
+        if policy == "prediction":
+            return lambda: PredictionSpinDown(
+                breakeven_margin=cfg.prediction_margin
+            )
+        if policy == "history":
+            return lambda: HistoryBasedMultiSpeed(
+                utilization_bound=cfg.history_utilization_bound
+            )
+        if policy == "staggered":
+            return lambda: StaggeredMultiSpeed(step_timeout=cfg.staggered_step)
+        raise ValueError(f"unknown policy {policy!r}")
+
+    # ------------------------------------------------------------------
+    # Running
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        workload: str,
+        policy: str,
+        scheme: bool,
+        config: Optional[ExperimentConfig] = None,
+    ) -> RunResult:
+        """Run (memoized) and distil one experiment."""
+        cfg = config or self.config
+        key = (workload, policy, scheme, cfg)
+        if key in self._runs:
+            return self._runs[key]
+
+        trace = self.trace(workload, cfg)
+        compile_result = self.compilation(workload, cfg) if scheme else None
+        multispeed = policy in MULTISPEED_POLICIES
+        session = Session(
+            trace,
+            cfg.disk_spec(multispeed),
+            self._policy_factory(policy, cfg),
+            cfg.session_config(),
+            compile_result=compile_result,
+        )
+        outcome = session.run()
+        horizon = outcome.execution_time
+
+        periods = [
+            p for d in outcome.drives for p in idle_periods_until(d, horizon)
+        ]
+        breakdown_total: dict[str, float] = {}
+        for drive in outcome.drives:
+            for state, joules in breakdown_until(drive, horizon).as_dict().items():
+                breakdown_total[state] = breakdown_total.get(state, 0.0) + joules
+
+        result = RunResult(
+            workload=workload,
+            policy=policy,
+            scheme=scheme,
+            execution_time=horizon,
+            energy_joules=fleet_energy(outcome.drives, horizon),
+            idle_cdf=idle_cdf(periods),
+            idle_periods=periods,
+            energy_breakdown=breakdown_total,
+            buffer_hits=outcome.buffer.hits if outcome.buffer else 0,
+            prefetches=outcome.buffer.total_prefetches if outcome.buffer else 0,
+            accesses=len(compile_result.accesses) if compile_result else 0,
+        )
+        self._runs[key] = result
+        return result
+
+    def baseline(self, workload: str, config: Optional[ExperimentConfig] = None) -> RunResult:
+        """The Default Scheme run (no power management, no scheduling)."""
+        return self.run(workload, "default", scheme=False, config=config)
+
+    # ------------------------------------------------------------------
+    def normalized_energy(
+        self, workload: str, policy: str, scheme: bool,
+        config: Optional[ExperimentConfig] = None,
+    ) -> float:
+        """Policy energy ÷ default energy (Figures 12(c)/(d))."""
+        cfg = config or self.config
+        base = self.baseline(workload, cfg)
+        run = self.run(workload, policy, scheme, cfg)
+        return run.energy_joules / base.energy_joules
+
+    def degradation(
+        self, workload: str, policy: str, scheme: bool,
+        config: Optional[ExperimentConfig] = None,
+    ) -> float:
+        """Execution-time degradation versus the default scheme
+        (Figures 13(a)/(b))."""
+        cfg = config or self.config
+        base = self.baseline(workload, cfg)
+        run = self.run(workload, policy, scheme, cfg)
+        return run.execution_time / base.execution_time - 1.0

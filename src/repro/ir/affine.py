@@ -1,0 +1,128 @@
+"""Affine expressions over loop indices and symbolic parameters.
+
+The compiler front end represents loop bounds and file-block subscripts as
+affine forms ``c0 + Σ ci·var_i`` where variables are enclosing loop indices
+or program parameters (including the SPMD process id ``p``).  Affine-ness
+is what decides whether the polyhedral path (:mod:`repro.ir.dependence`)
+or the profiling path (:mod:`repro.ir.profiling`) extracts slacks — the
+same dichotomy the paper draws between the Omega library and its profiling
+tool (§IV-A).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Union
+
+__all__ = ["Affine", "var", "const", "as_affine"]
+
+Number = Union[int, "Affine"]
+
+
+class Affine:
+    """An immutable affine form: ``constant + Σ coeffs[v] * v``."""
+
+    __slots__ = ("coeffs", "constant")
+
+    def __init__(self, coeffs: Mapping[str, int] | None = None, constant: int = 0):
+        cleaned = {v: c for v, c in (coeffs or {}).items() if c != 0}
+        object.__setattr__(self, "coeffs", cleaned)
+        object.__setattr__(self, "constant", constant)
+
+    def __setattr__(self, *_args):  # pragma: no cover - immutability guard
+        raise AttributeError("Affine expressions are immutable")
+
+    # ------------------------------------------------------------------
+    # Algebra
+    # ------------------------------------------------------------------
+    def __add__(self, other: Number) -> "Affine":
+        other = as_affine(other)
+        coeffs = dict(self.coeffs)
+        for v, c in other.coeffs.items():
+            coeffs[v] = coeffs.get(v, 0) + c
+        return Affine(coeffs, self.constant + other.constant)
+
+    __radd__ = __add__
+
+    def __sub__(self, other: Number) -> "Affine":
+        return self + (as_affine(other) * -1)
+
+    def __rsub__(self, other: Number) -> "Affine":
+        return as_affine(other) + (self * -1)
+
+    def __mul__(self, k: int) -> "Affine":
+        if not isinstance(k, int):
+            raise TypeError(f"affine forms only scale by integers, got {k!r}")
+        return Affine({v: c * k for v, c in self.coeffs.items()}, self.constant * k)
+
+    __rmul__ = __mul__
+
+    def __neg__(self) -> "Affine":
+        return self * -1
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def evaluate(self, env: Mapping[str, int]) -> int:
+        """Evaluate under a variable binding; missing variables raise."""
+        total = self.constant
+        for v, c in self.coeffs.items():
+            if v not in env:
+                raise KeyError(f"unbound variable {v!r} in {self}")
+            total += c * env[v]
+        return total
+
+    @property
+    def variables(self) -> frozenset[str]:
+        return frozenset(self.coeffs)
+
+    @property
+    def is_constant(self) -> bool:
+        return not self.coeffs
+
+    def coefficient(self, variable: str) -> int:
+        return self.coeffs.get(variable, 0)
+
+    def substitute(self, env: Mapping[str, int]) -> "Affine":
+        """Partially evaluate: bind some variables, keep the rest symbolic."""
+        coeffs = {}
+        constant = self.constant
+        for v, c in self.coeffs.items():
+            if v in env:
+                constant += c * env[v]
+            else:
+                coeffs[v] = c
+        return Affine(coeffs, constant)
+
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Affine):
+            return NotImplemented
+        return self.coeffs == other.coeffs and self.constant == other.constant
+
+    def __hash__(self) -> int:
+        return hash((frozenset(self.coeffs.items()), self.constant))
+
+    def __repr__(self) -> str:
+        parts = [f"{c}*{v}" if c != 1 else v for v, c in sorted(self.coeffs.items())]
+        if self.constant or not parts:
+            parts.append(str(self.constant))
+        return " + ".join(parts)
+
+
+def var(name: str) -> Affine:
+    """The affine form of a single variable."""
+    return Affine({name: 1}, 0)
+
+
+def const(value: int) -> Affine:
+    """The affine form of an integer constant."""
+    return Affine({}, value)
+
+
+def as_affine(value: Number) -> Affine:
+    """Coerce ints to constant affine forms."""
+    if isinstance(value, Affine):
+        return value
+    if isinstance(value, int):
+        return const(value)
+    raise TypeError(f"cannot interpret {value!r} as an affine expression")

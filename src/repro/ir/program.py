@@ -1,0 +1,236 @@
+"""Loop-nest program IR.
+
+A :class:`Program` is the compiler's view of one SPMD parallel application:
+a set of striped-file declarations and a tree of loops whose bodies contain
+file-block reads/writes and compute steps (the Figure 5 matrix-multiply
+shape).  Every process executes the same tree with its own binding of the
+process-id symbol ``p``; per-process specialization is expressed through
+``p`` appearing in bounds or subscripts.
+
+Time is counted in *slots*: every :class:`Compute` op executed advances the
+process's slot counter by one (the paper's "loop iteration" granularity —
+an iteration's I/O calls land in the slot of the compute step they precede).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Union
+
+from .affine import Affine, as_affine
+
+__all__ = ["Read", "Write", "Compute", "Loop", "FileDecl", "Program", "Stmt"]
+
+Bound = Union[int, Affine]
+
+
+@dataclass(frozen=True)
+class FileDecl:
+    """A disk-resident file declared by the program.
+
+    The file is addressed in fixed-size blocks; I/O ops name block indices.
+    """
+
+    name: str
+    n_blocks: int
+    block_bytes: int
+
+    @property
+    def size_bytes(self) -> int:
+        return self.n_blocks * self.block_bytes
+
+    def __post_init__(self) -> None:
+        if self.n_blocks <= 0 or self.block_bytes <= 0:
+            raise ValueError(f"file {self.name!r} must have positive geometry")
+
+
+def _coerce_block(value):
+    """Block subscripts are affine forms or callables ``env -> int``.
+
+    Callable subscripts mark the reference non-affine: the paper's
+    profiling tool handles those, the polyhedral path refuses them.
+    """
+    if callable(value):
+        return value
+    return as_affine(value)
+
+
+def _eval_block(block, env: dict) -> int:
+    if callable(block):
+        return int(block(env))
+    return block.evaluate(env)
+
+
+@dataclass(frozen=True)
+class Read:
+    """Read one block of ``file`` (an MPI_File_read of that block).
+
+    ``block`` is an affine form or a callable ``env -> int`` (non-affine
+    subscript, e.g. indirection or modular striding).
+    """
+
+    file: str
+    block: object
+    blocks: int = 1  # contiguous run length, in blocks
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "block", _coerce_block(self.block))
+        if self.blocks < 1:
+            raise ValueError("a Read must cover at least one block")
+
+    def block_at(self, env: dict) -> int:
+        return _eval_block(self.block, env)
+
+    @property
+    def is_affine(self) -> bool:
+        return isinstance(self.block, Affine)
+
+
+@dataclass(frozen=True)
+class Write:
+    """Write one block of ``file`` (an MPI_File_write of that block)."""
+
+    file: str
+    block: object
+    blocks: int = 1
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "block", _coerce_block(self.block))
+        if self.blocks < 1:
+            raise ValueError("a Write must cover at least one block")
+
+    def block_at(self, env: dict) -> int:
+        return _eval_block(self.block, env)
+
+    @property
+    def is_affine(self) -> bool:
+        return isinstance(self.block, Affine)
+
+
+@dataclass(frozen=True)
+class Compute:
+    """A compute step: advances the slot counter and burns ``cost`` seconds.
+
+    ``cost`` may be a constant or a callable ``env -> seconds`` for
+    data-dependent (non-affine) compute — using a callable also marks the
+    program non-affine, pushing slack extraction to the profiling path.
+    """
+
+    cost: Union[float, Callable[[dict], float]]
+
+    def cost_at(self, env: dict) -> float:
+        if callable(self.cost):
+            return float(self.cost(env))
+        return float(self.cost)
+
+    @property
+    def is_affine(self) -> bool:
+        return not callable(self.cost)
+
+
+@dataclass(frozen=True)
+class Loop:
+    """``for index = lower, upper, step`` (inclusive bounds, Fortran style
+    as in Figure 5).  Bounds may be affine in enclosing indices/params."""
+
+    index: str
+    lower: Bound
+    upper: Bound
+    body: tuple = ()
+    step: int = 1
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "lower", as_affine(self.lower))
+        object.__setattr__(self, "upper", as_affine(self.upper))
+        object.__setattr__(self, "body", tuple(self.body))
+        if self.step == 0:
+            raise ValueError(f"loop {self.index!r} has zero step")
+
+    def iter_range(self, env: dict) -> range:
+        lo = self.lower.evaluate(env)
+        hi = self.upper.evaluate(env)
+        if self.step > 0:
+            return range(lo, hi + 1, self.step)
+        return range(lo, hi - 1, self.step)
+
+
+Stmt = Union[Read, Write, Compute, Loop]
+
+
+@dataclass
+class Program:
+    """One SPMD application: files + parameters + a statement tree."""
+
+    name: str
+    n_processes: int
+    files: dict[str, FileDecl]
+    body: tuple[Stmt, ...]
+    params: dict[str, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.body = tuple(self.body)
+        if self.n_processes < 1:
+            raise ValueError("need at least one process")
+        self._validate(self.body, set(self.params) | {"p"})
+
+    def _validate(self, stmts: tuple, bound_vars: set[str]) -> None:
+        for stmt in stmts:
+            if isinstance(stmt, Loop):
+                for bound in (stmt.lower, stmt.upper):
+                    missing = bound.variables - bound_vars
+                    if missing:
+                        raise ValueError(
+                            f"loop {stmt.index!r} bound uses unbound {missing}"
+                        )
+                self._validate(stmt.body, bound_vars | {stmt.index})
+            elif isinstance(stmt, (Read, Write)):
+                if stmt.file not in self.files:
+                    raise ValueError(f"I/O op names undeclared file {stmt.file!r}")
+                if stmt.is_affine:
+                    missing = stmt.block.variables - bound_vars
+                    if missing:
+                        raise ValueError(
+                            f"subscript on {stmt.file!r} uses unbound {missing}"
+                        )
+            elif not isinstance(stmt, Compute):
+                raise TypeError(f"unsupported statement {stmt!r}")
+
+    # ------------------------------------------------------------------
+    @property
+    def is_affine(self) -> bool:
+        """True when every I/O subscript is affine — the polyhedral
+        (Omega-style) slack path applies; otherwise profiling is needed.
+
+        Compute costs are irrelevant here: dependences (and hence slacks)
+        are functions of subscripts and iteration counts only, so
+        data-dependent compute *times* don't disqualify a program from
+        static analysis.
+        """
+        return all(op.is_affine for op in self.io_ops())
+
+    def _all_computes(self, stmts: tuple):
+        for stmt in stmts:
+            if isinstance(stmt, Loop):
+                yield from self._all_computes(stmt.body)
+            elif isinstance(stmt, Compute):
+                yield stmt
+
+    def io_ops(self) -> list[Union[Read, Write]]:
+        """All static I/O ops in program order."""
+        out: list[Union[Read, Write]] = []
+
+        def walk(stmts: tuple) -> None:
+            for stmt in stmts:
+                if isinstance(stmt, Loop):
+                    walk(stmt.body)
+                elif isinstance(stmt, (Read, Write)):
+                    out.append(stmt)
+
+        walk(self.body)
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Program({self.name!r}, P={self.n_processes}, "
+            f"files={list(self.files)})"
+        )

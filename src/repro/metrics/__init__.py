@@ -1,0 +1,31 @@
+"""Measurement layer: idle-period CDFs, energy integration, performance
+comparisons, and report formatting."""
+
+from .energy import (
+    EnergyComparison,
+    breakdown_until,
+    energy_until,
+    fleet_energy,
+    idle_periods_until,
+)
+from .idle import PAPER_BUCKETS_MS, IdleCDF, clip_periods, idle_cdf
+from .perf import PerfComparison, degradation, improvement
+from .report import format_percent, format_series, format_table
+
+__all__ = [
+    "energy_until",
+    "breakdown_until",
+    "fleet_energy",
+    "idle_periods_until",
+    "EnergyComparison",
+    "idle_cdf",
+    "IdleCDF",
+    "clip_periods",
+    "PAPER_BUCKETS_MS",
+    "degradation",
+    "improvement",
+    "PerfComparison",
+    "format_table",
+    "format_percent",
+    "format_series",
+]

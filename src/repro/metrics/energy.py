@@ -1,0 +1,104 @@
+"""Energy metrics over finalized drive timelines.
+
+The paper reports *normalized energy consumption* (policy ÷ default
+scheme) and *reduction in energy consumption* (1 − normalized).  Metrics
+here integrate over a clipped horizon — the application's execution window
+— so trailing drain activity doesn't skew policy comparisons.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..disk.drive import Drive
+from ..disk.power import DiskPowerModel, EnergyBreakdown
+from ..disk import states as st
+from ..sim.trace import Interval
+
+__all__ = [
+    "energy_until",
+    "breakdown_until",
+    "fleet_energy",
+    "idle_periods_until",
+    "EnergyComparison",
+]
+
+
+def _clipped_intervals(drive: Drive, horizon: float):
+    for iv in drive.timeline.intervals():
+        if iv.start >= horizon:
+            break
+        end = min(iv.end, horizon)
+        if end > iv.start:
+            yield Interval(iv.start, end, iv.state)
+
+
+def energy_until(drive: Drive, horizon: float) -> float:
+    """Joules consumed by one drive in ``[0, horizon]``."""
+    model = drive.power_model
+    return sum(
+        model.power_of(iv.state) * iv.duration
+        for iv in _clipped_intervals(drive, horizon)
+    )
+
+
+def breakdown_until(drive: Drive, horizon: float) -> EnergyBreakdown:
+    """Per-state-family joules in ``[0, horizon]``."""
+    model = DiskPowerModel(drive.spec)
+    result = EnergyBreakdown()
+    for iv in _clipped_intervals(drive, horizon):
+        joules = model.power_of(iv.state) * iv.duration
+        base = st.base_state(iv.state)
+        if base in (st.ACTIVE_READ, st.ACTIVE_WRITE):
+            result.active += joules
+        elif base == st.SEEK:
+            result.seek += joules
+        elif base == st.IDLE:
+            result.idle += joules
+        elif base == st.STANDBY:
+            result.standby += joules
+        elif base == st.SPIN_UP:
+            result.spin_up += joules
+        elif base == st.SPIN_DOWN:
+            result.spin_down += joules
+        else:
+            result.rpm_change += joules
+    return result
+
+
+def fleet_energy(drives: list[Drive], horizon: float) -> float:
+    """Total joules over a set of drives in ``[0, horizon]``."""
+    return sum(energy_until(d, horizon) for d in drives)
+
+
+def idle_periods_until(drive: Drive, horizon: float) -> list[float]:
+    """Idle-period lengths clipped to the execution window."""
+    out = []
+    for iv in drive.timeline.merged_periods(st.is_idle_family):
+        if iv.start >= horizon:
+            break
+        end = min(iv.end, horizon)
+        if end > iv.start:
+            out.append(end - iv.start)
+    return out
+
+
+@dataclass(frozen=True)
+class EnergyComparison:
+    """One policy's energy versus the default scheme."""
+
+    policy: str
+    energy_joules: float
+    baseline_joules: float
+
+    @property
+    def normalized(self) -> float:
+        """Figure 12(c)/(d): policy energy ÷ default energy."""
+        if self.baseline_joules == 0:
+            return 1.0
+        return self.energy_joules / self.baseline_joules
+
+    @property
+    def reduction(self) -> float:
+        """Figures 13(c)/(d), 14(a): 1 − normalized."""
+        return 1.0 - self.normalized

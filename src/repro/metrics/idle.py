@@ -1,0 +1,84 @@
+"""Idle-period statistics (Figure 12(a)/(b) CDFs).
+
+Idle periods are the maximal stretches during which a disk serves no
+request (whatever low-power states it traverses meanwhile).  The paper
+reports their CDF over fixed millisecond buckets; :data:`PAPER_BUCKETS_MS`
+reproduces the x-axis of Figure 12.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["PAPER_BUCKETS_MS", "IdleCDF", "idle_cdf", "clip_periods"]
+
+#: Figure 12's bucket edges, in milliseconds; the final bucket is open.
+PAPER_BUCKETS_MS = (
+    5, 10, 50, 100, 500, 1_000, 5_000, 10_000, 20_000, 30_000, 40_000, 50_000
+)
+
+
+@dataclass(frozen=True)
+class IdleCDF:
+    """Cumulative distribution of idle-period lengths."""
+
+    buckets_ms: tuple[int, ...]
+    cumulative: tuple[float, ...]  # fraction of periods ≤ each bucket edge
+    count: int
+    total_idle_seconds: float
+    mean_seconds: float
+
+    def fraction_at_most(self, ms: float) -> float:
+        """Interpolation-free lookup: fraction of periods ≤ ``ms``."""
+        result = 0.0
+        for edge, frac in zip(self.buckets_ms, self.cumulative):
+            if edge <= ms:
+                result = frac
+            else:
+                break
+        return result
+
+    def rows(self) -> list[tuple[str, float]]:
+        """(bucket label, cumulative fraction) rows for reports."""
+        out = [(f"{edge}", frac) for edge, frac in zip(self.buckets_ms, self.cumulative)]
+        out.append((f"{self.buckets_ms[-1]}+", 1.0))
+        return out
+
+
+def clip_periods(
+    periods: list[tuple[float, float]], horizon: float
+) -> list[float]:
+    """Clip (start, end) periods to ``[0, horizon]``; returns lengths."""
+    out = []
+    for start, end in periods:
+        if start >= horizon:
+            continue
+        out.append(min(end, horizon) - start)
+    return out
+
+
+def idle_cdf(
+    lengths_seconds: list[float],
+    buckets_ms: tuple[int, ...] = PAPER_BUCKETS_MS,
+) -> IdleCDF:
+    """Build the Figure-12-style CDF from idle-period lengths."""
+    count = len(lengths_seconds)
+    total = sum(lengths_seconds)
+    if count == 0:
+        cumulative = tuple(0.0 for _ in buckets_ms)
+        return IdleCDF(tuple(buckets_ms), cumulative, 0, 0.0, 0.0)
+    ordered = sorted(lengths_seconds)
+    cumulative = []
+    idx = 0
+    for edge_ms in buckets_ms:
+        edge_s = edge_ms / 1_000.0
+        while idx < count and ordered[idx] <= edge_s:
+            idx += 1
+        cumulative.append(idx / count)
+    return IdleCDF(
+        buckets_ms=tuple(buckets_ms),
+        cumulative=tuple(cumulative),
+        count=count,
+        total_idle_seconds=total,
+        mean_seconds=total / count,
+    )

@@ -1,0 +1,40 @@
+"""Performance metrics.
+
+The paper's Figure 13(a)/(b) report *performance degradation* — execution
+time under a power policy relative to the default scheme — and Figure
+14(b) reports *performance improvement* of larger θ values relative to the
+most constrained setting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["PerfComparison", "degradation", "improvement"]
+
+
+def degradation(exec_time: float, baseline_time: float) -> float:
+    """Fractional slowdown versus the default scheme (≥ 0 usually)."""
+    if baseline_time <= 0:
+        raise ValueError(f"baseline time must be positive: {baseline_time}")
+    return exec_time / baseline_time - 1.0
+
+
+def improvement(exec_time: float, reference_time: float) -> float:
+    """Fractional speedup versus a reference configuration."""
+    if exec_time <= 0:
+        raise ValueError(f"execution time must be positive: {exec_time}")
+    return reference_time / exec_time - 1.0
+
+
+@dataclass(frozen=True)
+class PerfComparison:
+    """One policy's execution time versus the default scheme."""
+
+    policy: str
+    exec_time: float
+    baseline_time: float
+
+    @property
+    def degradation(self) -> float:
+        return degradation(self.exec_time, self.baseline_time)

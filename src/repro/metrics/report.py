@@ -1,0 +1,42 @@
+"""Plain-text report rendering for tables and figure data series.
+
+Every benchmark prints the rows/series the corresponding paper table or
+figure reports; these helpers keep the formatting consistent.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["format_table", "format_percent", "format_series"]
+
+
+def format_percent(value: float, digits: int = 1) -> str:
+    """0.123 → '12.3%'."""
+    return f"{value * 100:.{digits}f}%"
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]], title: str = ""
+) -> str:
+    """Render an aligned ASCII table."""
+    str_rows = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(name: str, xs: Sequence[object], ys: Sequence[float]) -> str:
+    """Render one figure series as 'name: x=y, x=y, …'."""
+    pairs = ", ".join(f"{x}={y:.3f}" for x, y in zip(xs, ys))
+    return f"{name}: {pairs}"

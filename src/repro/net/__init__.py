@@ -1,0 +1,5 @@
+"""Interconnect model between client nodes and I/O nodes."""
+
+from .network import Link, Network, NetworkStats
+
+__all__ = ["Network", "Link", "NetworkStats"]

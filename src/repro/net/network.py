@@ -1,0 +1,100 @@
+"""Client ↔ I/O node interconnect model.
+
+A :class:`Network` provides point-to-point transfers with a fixed per-hop
+latency and per-endpoint serialized bandwidth: each I/O node has one
+ingress/egress link that transfers queue on (FIFO), which captures the
+first-order contention effect of many clients hammering one server, while
+client NICs are assumed uncontended (one process per client node).
+
+This is deliberately simpler than a full packet-level fabric — the paper's
+results hinge on disk service and queueing, not switch microbehaviour; the
+network contributes latency and smooths request arrival, which this model
+preserves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..sim.engine import Simulator
+
+__all__ = ["Link", "Network", "NetworkStats"]
+
+
+@dataclass
+class NetworkStats:
+    """Aggregate transfer statistics."""
+
+    transfers: int = 0
+    bytes_moved: int = 0
+    total_queue_delay: float = 0.0
+
+
+class Link:
+    """A serialized FIFO link with latency + bandwidth."""
+
+    def __init__(self, sim: Simulator, latency: float, bandwidth_bps: float, name: str = ""):
+        if latency < 0:
+            raise ValueError(f"negative latency: {latency}")
+        if bandwidth_bps <= 0:
+            raise ValueError(f"bandwidth must be positive: {bandwidth_bps}")
+        self.sim = sim
+        self.latency = latency
+        self.bandwidth_bps = bandwidth_bps
+        self.name = name
+        self._busy_until = 0.0
+        self.stats = NetworkStats()
+
+    def transfer_time(self, nbytes: int) -> float:
+        """Unloaded service time for ``nbytes``."""
+        return self.latency + nbytes / self.bandwidth_bps
+
+    def transfer(self, nbytes: int, on_complete: Callable[[], None]) -> None:
+        """Queue a transfer; ``on_complete`` fires when the last byte lands."""
+        if nbytes < 0:
+            raise ValueError(f"negative transfer size: {nbytes}")
+        now = self.sim.now
+        start = max(now, self._busy_until)
+        service = nbytes / self.bandwidth_bps
+        finish = start + service + self.latency
+        self._busy_until = start + service
+        self.stats.transfers += 1
+        self.stats.bytes_moved += nbytes
+        self.stats.total_queue_delay += start - now
+        self.sim.schedule(finish - now, on_complete)
+
+
+class Network:
+    """Star topology: every I/O node hangs off its own serialized link."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        n_ionodes: int,
+        latency: float = 0.0001,
+        bandwidth_bps: float = 1e9,
+    ):
+        self.sim = sim
+        self.links = [
+            Link(sim, latency, bandwidth_bps, name=f"ionode{i}")
+            for i in range(n_ionodes)
+        ]
+
+    def to_node(self, node: int, nbytes: int, on_complete: Callable[[], None]) -> None:
+        """Move ``nbytes`` from a client to I/O node ``node``."""
+        self.links[node].transfer(nbytes, on_complete)
+
+    def from_node(self, node: int, nbytes: int, on_complete: Callable[[], None]) -> None:
+        """Move ``nbytes`` from I/O node ``node`` back to a client."""
+        self.links[node].transfer(nbytes, on_complete)
+
+    @property
+    def stats(self) -> NetworkStats:
+        """Summed statistics over all links."""
+        total = NetworkStats()
+        for link in self.links:
+            total.transfers += link.stats.transfers
+            total.bytes_moved += link.stats.bytes_moved
+            total.total_queue_delay += link.stats.total_queue_delay
+        return total

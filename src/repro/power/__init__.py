@@ -1,0 +1,45 @@
+"""Disk power-management policies (paper §II).
+
+Four evaluated policies — :class:`SimpleSpinDown`,
+:class:`PredictionSpinDown`, :class:`HistoryBasedMultiSpeed`,
+:class:`StaggeredMultiSpeed` — plus the :class:`NoPowerManagement`
+baseline ("Default Scheme") and an oracle upper bound for ablations.
+"""
+
+from .multispeed import HistoryBasedMultiSpeed, StaggeredMultiSpeed, speed_for_idle
+from .oracle import OracleSpinDown
+from .policy import NoPowerManagement, PowerPolicy
+from .predictor import IdlePredictor
+from .spindown import PredictionSpinDown, SimpleSpinDown
+
+__all__ = [
+    "PowerPolicy",
+    "NoPowerManagement",
+    "SimpleSpinDown",
+    "PredictionSpinDown",
+    "HistoryBasedMultiSpeed",
+    "StaggeredMultiSpeed",
+    "OracleSpinDown",
+    "IdlePredictor",
+    "speed_for_idle",
+]
+
+POLICY_NAMES = ("default", "simple", "prediction", "history", "staggered")
+
+
+def make_policy(name: str, **kwargs) -> PowerPolicy:
+    """Factory: build a policy by its paper name.
+
+    ``default`` | ``simple`` | ``prediction`` | ``history`` | ``staggered``.
+    Keyword arguments are forwarded to the policy constructor.
+    """
+    factories = {
+        "default": NoPowerManagement,
+        "simple": SimpleSpinDown,
+        "prediction": PredictionSpinDown,
+        "history": HistoryBasedMultiSpeed,
+        "staggered": StaggeredMultiSpeed,
+    }
+    if name not in factories:
+        raise ValueError(f"unknown policy {name!r}; choose from {sorted(factories)}")
+    return factories[name](**kwargs)

@@ -1,0 +1,83 @@
+"""Power-management policy interface.
+
+A :class:`PowerPolicy` attaches to one :class:`~repro.disk.drive.Drive` and
+reacts to three notifications — idle-start, request-arrival and
+ramp-complete — by driving the disk's spin-down / spin-up / RPM controls.
+Policies own their own timers via the drive's simulator.
+
+The four concrete policies of the paper live in
+:mod:`repro.power.spindown` and :mod:`repro.power.multispeed`; the
+no-op baseline (the paper's *Default Scheme*) is here.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, TYPE_CHECKING
+
+from ..sim.events import Event
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..disk.drive import Drive
+
+__all__ = ["PowerPolicy", "NoPowerManagement"]
+
+
+class PowerPolicy:
+    """Base class: observes one drive, never acts."""
+
+    name = "base"
+
+    def __init__(self) -> None:
+        self.drive: Optional["Drive"] = None
+        self._timer: Optional[Event] = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def bind(self, drive: "Drive") -> None:
+        """Called by :meth:`Drive.attach_policy`."""
+        self.drive = drive
+
+    @property
+    def sim(self):
+        if self.drive is None:
+            raise RuntimeError(f"policy {self.name!r} is not bound to a drive")
+        return self.drive.sim
+
+    # ------------------------------------------------------------------
+    # Timer helpers
+    # ------------------------------------------------------------------
+    def _arm_timer(self, delay: float, callback, *args) -> None:
+        self._cancel_timer()
+        self._timer = self.sim.schedule(delay, callback, *args)
+
+    def _cancel_timer(self) -> None:
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+
+    # ------------------------------------------------------------------
+    # Notifications (override in subclasses)
+    # ------------------------------------------------------------------
+    def on_idle_start(self, now: float) -> None:
+        """The drive's queue just drained."""
+
+    def on_request_arrival(self, now: float) -> None:
+        """A request arrived at a previously idle drive."""
+
+    def on_ramp_complete(self, now: float) -> None:
+        """An RPM ramp reached the policy's target while idle."""
+
+    def on_simulation_end(self, now: float) -> None:
+        """Final chance to cancel timers / record state."""
+        self._cancel_timer()
+
+
+class NoPowerManagement(PowerPolicy):
+    """The paper's *Default Scheme*: the disk idles at full speed forever.
+
+    All energy-saving and performance-degradation percentages in the
+    evaluation are reported relative to this policy.
+    """
+
+    name = "default"

@@ -1,0 +1,70 @@
+"""Idle-period length prediction.
+
+The paper's *Prediction Based* spin-down and *History Based* multi-speed
+policies both assume "successive idle periods exhibit similar behavior as
+far as their duration is concerned" (§II).  :class:`IdlePredictor`
+implements that assumption as an exponentially weighted moving average over
+observed idle lengths, with the degenerate ``history=1`` case reducing to
+last-value prediction.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+__all__ = ["IdlePredictor"]
+
+
+class IdlePredictor:
+    """EWMA / windowed-mean predictor of the next idle period's length."""
+
+    def __init__(self, alpha: float = 0.7, window: int = 8, initial: float = 0.0):
+        """``alpha`` weights the newest observation; ``window`` bounds the
+        windowed-mean fallback used before the EWMA warms up; ``initial``
+        is the prediction before any observation."""
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError(f"alpha must be in (0, 1]: {alpha}")
+        if window < 1:
+            raise ValueError(f"window must be >= 1: {window}")
+        self.alpha = alpha
+        self.window = window
+        self._ewma = initial
+        self._seen = 0
+        self._recent: deque[float] = deque(maxlen=window)
+
+    def observe(self, idle_length: float) -> None:
+        """Record a completed idle period of ``idle_length`` seconds."""
+        if idle_length < 0:
+            raise ValueError(f"negative idle length: {idle_length}")
+        self._recent.append(idle_length)
+        if self._seen == 0:
+            self._ewma = idle_length
+        else:
+            self._ewma = self.alpha * idle_length + (1 - self.alpha) * self._ewma
+        self._seen += 1
+
+    def predict(self) -> float:
+        """Predicted length (seconds) of the idle period starting now."""
+        return self._ewma
+
+    def predict_upper(self) -> float:
+        """Conservative upper estimate: the longest idle period in the
+        recent window.  Policies use it for ahead-of-time wake-up timers,
+        where underprediction (waking too early) wastes the whole saving
+        but overprediction merely exposes the normal wake-on-request
+        latency."""
+        if not self._recent:
+            return self._ewma
+        return max(self._recent)
+
+    @property
+    def observations(self) -> int:
+        return self._seen
+
+    @property
+    def recent(self) -> tuple[float, ...]:
+        """The last ``window`` observations, oldest first."""
+        return tuple(self._recent)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"IdlePredictor(ewma={self._ewma:.4f}, n={self._seen})"

@@ -1,0 +1,152 @@
+"""Spin-down power-management policies (paper §II, Figure 2).
+
+*Simple*: after ``timeout`` seconds of continuous idleness the disk spins
+down; the next request forces a spin-up (its latency is fully exposed).
+
+*Prediction Based*: on entering idleness, predict the idle duration from
+history.  If the prediction clears the energy break-even point, spin down
+immediately; also arm a wake-up timer at ``prediction − spin_up_time`` so
+the disk is (ideally) back at speed when the next request lands, hiding the
+spin-up latency.
+"""
+
+from __future__ import annotations
+
+from .policy import PowerPolicy
+from .predictor import IdlePredictor
+
+__all__ = ["SimpleSpinDown", "PredictionSpinDown"]
+
+
+class SimpleSpinDown(PowerPolicy):
+    """Fixed-timeout spin-down (Figure 2(a)/(b))."""
+
+    name = "simple"
+
+    def __init__(self, timeout: float = 0.050):
+        """``timeout`` is the paper's *x* msec idleness threshold
+        (50 ms by default, per §V-A)."""
+        super().__init__()
+        if timeout < 0:
+            raise ValueError(f"negative timeout: {timeout}")
+        self.timeout = timeout
+
+    def on_idle_start(self, now: float) -> None:
+        self._arm_timer(self.timeout, self._timeout_fired)
+
+    def _timeout_fired(self) -> None:
+        self._timer = None
+        if self.drive.is_idle:
+            self.drive.spin_down()
+
+    def on_request_arrival(self, now: float) -> None:
+        self._cancel_timer()
+        # The drive wakes itself up when a request hits standby.
+
+
+class PredictionSpinDown(PowerPolicy):
+    """Predictive spin-down with ahead-of-time wake-up."""
+
+    name = "prediction"
+
+    def __init__(
+        self,
+        predictor: IdlePredictor | None = None,
+        breakeven_margin: float = 1.0,
+        min_observe: float = 0.2,
+        fallback_factor: float = 0.6,
+        decision_delay: float = 0.3,
+    ):
+        """``breakeven_margin`` scales the spec's break-even idle length;
+        values above 1 make the policy more conservative.  ``min_observe``
+        is the floor below which a gap is treated as service-continuation
+        noise rather than an idle *period* — micro-gaps between queued
+        bursts would otherwise poison the predictor.  ``fallback_factor``
+        arms a safety-net timeout at that multiple of the break-even
+        length: an idle period the history failed to predict (the first
+        gap of a new program phase) still transitions to standby once it
+        has provably outlived any possible misprediction cost.  Set to 0
+        to disable the fallback (pure paper §II behaviour)."""
+        super().__init__()
+        self.predictor = predictor or IdlePredictor()
+        if breakeven_margin <= 0:
+            raise ValueError(f"breakeven_margin must be positive: {breakeven_margin}")
+        if min_observe < 0:
+            raise ValueError(f"min_observe must be non-negative: {min_observe}")
+        if fallback_factor < 0:
+            raise ValueError(f"fallback_factor must be non-negative: {fallback_factor}")
+        if decision_delay < 0:
+            raise ValueError(f"decision_delay must be non-negative: {decision_delay}")
+        self.breakeven_margin = breakeven_margin
+        self.min_observe = min_observe
+        self.fallback_factor = fallback_factor
+        self.decision_delay = decision_delay
+        self._idle_since: float | None = None
+        self.predictions = 0
+        self.spin_down_decisions = 0
+        self.fallback_spin_downs = 0
+
+    def on_idle_start(self, now: float) -> None:
+        self._idle_since = now
+        # Detection dwell: don't brake the spindle inside a queue-drain
+        # micro-gap (see HistoryBasedMultiSpeed.decision_delay).
+        self._arm_timer(self.decision_delay, self._decide)
+
+    def _decide(self) -> None:
+        self._timer = None
+        if not self.drive.is_idle or self.drive.is_standby:
+            return
+        # All timers below are relative to the *idle start*, not to this
+        # (dwelled) decision point — otherwise every wake-up lands late by
+        # the dwell and the error compounds across periodic idle trains.
+        elapsed = self.sim.now - (self._idle_since or self.sim.now)
+        predicted = self.predictor.predict()
+        self.predictions += 1
+        threshold = self.drive.spec.breakeven_idle_seconds() * self.breakeven_margin
+        if predicted >= threshold:
+            if self.drive.spin_down():
+                self.spin_down_decisions += 1
+                # Wake on the conservative upper estimate: waking early
+                # burns the remaining standby saving at full idle power,
+                # waking late costs only the usual spin-up exposure.
+                wake_delay = (
+                    self.predictor.predict_upper()
+                    - self.drive.spec.spin_up_time
+                    - elapsed
+                )
+                # Never wake before the spin-down itself finishes.
+                wake_delay = max(wake_delay, self.drive.spec.spin_down_time)
+                self._arm_timer(wake_delay, self._proactive_wake)
+        elif self.fallback_factor > 0:
+            fallback = (
+                self.drive.spec.breakeven_idle_seconds() * self.fallback_factor
+            )
+            self._arm_timer(max(fallback - elapsed, 0.0), self._fallback_fired)
+
+    def _fallback_fired(self) -> None:
+        self._timer = None
+        if self.drive.is_idle and not self.drive.is_standby:
+            if self.drive.spin_down():
+                self.fallback_spin_downs += 1
+                # Unknown end: wake on request, like the simple policy.
+
+    def _proactive_wake(self) -> None:
+        self._timer = None
+        if self.drive.is_standby and self.drive.is_idle:
+            self.drive.spin_up()
+
+    def _observe(self, length: float) -> None:
+        if length >= self.min_observe:
+            self.predictor.observe(length)
+
+    def on_request_arrival(self, now: float) -> None:
+        self._cancel_timer()
+        if self._idle_since is not None:
+            self._observe(now - self._idle_since)
+            self._idle_since = None
+
+    def on_simulation_end(self, now: float) -> None:
+        if self._idle_since is not None and now > self._idle_since:
+            self._observe(now - self._idle_since)
+            self._idle_since = None
+        super().on_simulation_end(now)

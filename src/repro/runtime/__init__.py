@@ -1,0 +1,26 @@
+"""Runtime data access scheduler (§III): clients, scheduler threads,
+global buffer, MPI-IO facade, local-time coordination, session driver.
+"""
+
+from .buffer import BufferEntry, EntryState, GlobalBuffer
+from .client import ClientProcess, ClientStats
+from .clock import LocalClocks
+from .mpi_io import IOStats, MPIIO
+from .scheduler_thread import SchedulerThread, SchedulerThreadStats
+from .session import Session, SessionConfig, SessionResult
+
+__all__ = [
+    "Session",
+    "SessionConfig",
+    "SessionResult",
+    "ClientProcess",
+    "ClientStats",
+    "SchedulerThread",
+    "SchedulerThreadStats",
+    "GlobalBuffer",
+    "BufferEntry",
+    "EntryState",
+    "LocalClocks",
+    "MPIIO",
+    "IOStats",
+]

@@ -1,0 +1,150 @@
+"""The client-side global prefetch buffer (§III).
+
+Prefetched blocks live in a buffer "collectively managed by all scheduler
+threads" (modelled after Liao et al.'s MPI-IO collective caching).  The
+runtime contract from the paper:
+
+* a hit returns the data and *invalidates the entry* to make room;
+* when the buffer is full, scheduler threads *stop fetching* until space
+  frees up;
+* entries are keyed per access (one prefetch, one consume).
+
+Capacity is counted in blocks.  A restartable space signal wakes stalled
+scheduler threads whenever an entry is consumed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Optional
+
+from ..sim.engine import Simulator
+from ..sim.events import Signal
+
+__all__ = ["EntryState", "BufferEntry", "GlobalBuffer"]
+
+
+class EntryState(Enum):
+    """Lifecycle of one prefetched entry."""
+
+    FETCHING = "fetching"
+    READY = "ready"
+    CONSUMED = "consumed"
+
+
+@dataclass
+class BufferEntry:
+    """One access's slot in the global buffer."""
+
+    aid: int
+    blocks: int
+    state: EntryState
+    ready: Signal  # fires when the data lands
+
+
+class GlobalBuffer:
+    """Block-capacity-bounded prefetch buffer shared by scheduler threads."""
+
+    def __init__(self, sim: Simulator, capacity_blocks: int):
+        if capacity_blocks < 1:
+            raise ValueError(f"capacity must be >= 1 block: {capacity_blocks}")
+        self.sim = sim
+        self.capacity_blocks = capacity_blocks
+        self._entries: dict[int, BufferEntry] = {}
+        self._used_blocks = 0
+        self.space_freed = Signal("buffer.space", restartable=True)
+        self.peak_used = 0
+        self.total_prefetches = 0
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def used_blocks(self) -> int:
+        return self._used_blocks
+
+    @property
+    def free_blocks(self) -> int:
+        return self.capacity_blocks - self._used_blocks
+
+    def has_room(self, blocks: int) -> bool:
+        """Whether ``blocks`` more blocks fit right now."""
+        return self._used_blocks + blocks <= self.capacity_blocks
+
+    # ------------------------------------------------------------------
+    # Producer side (scheduler threads)
+    # ------------------------------------------------------------------
+    def begin_fetch(self, aid: int, blocks: int) -> BufferEntry:
+        """Reserve space for an access being prefetched.
+
+        Caller must have checked :meth:`has_room`; reserving over capacity
+        raises (scheduler threads must stall instead).
+        """
+        if aid in self._entries:
+            raise ValueError(f"access {aid} already has a buffer entry")
+        if not self.has_room(blocks):
+            raise RuntimeError(
+                f"buffer overflow: {blocks} blocks requested, "
+                f"{self.free_blocks} free"
+            )
+        entry = BufferEntry(
+            aid=aid,
+            blocks=blocks,
+            state=EntryState.FETCHING,
+            ready=Signal(f"buffer.a{aid}.ready"),
+        )
+        self._entries[aid] = entry
+        self._used_blocks += blocks
+        self.peak_used = max(self.peak_used, self._used_blocks)
+        self.total_prefetches += 1
+        return entry
+
+    def complete_fetch(self, aid: int) -> None:
+        """The prefetch I/O finished; wake any consumer waiting on it."""
+        entry = self._entries[aid]
+        if entry.state is not EntryState.FETCHING:
+            raise ValueError(f"access {aid} is not fetching ({entry.state})")
+        entry.state = EntryState.READY
+        self.sim.fire(entry.ready)
+
+    # ------------------------------------------------------------------
+    # Consumer side (application processes)
+    # ------------------------------------------------------------------
+    def lookup(self, aid: int) -> Optional[BufferEntry]:
+        """The entry for an access, if the scheduler ever started it."""
+        entry = self._entries.get(aid)
+        if entry is not None and entry.state is not EntryState.CONSUMED:
+            return entry
+        return None
+
+    def consume(self, aid: int) -> None:
+        """Hit: hand the data to the app and invalidate the entry
+        ("the entry is invalidated to make space for the subsequent data
+        prefetched by the scheduler thread")."""
+        entry = self._entries.get(aid)
+        if entry is None or entry.state is not EntryState.READY:
+            raise ValueError(f"access {aid} is not ready to consume")
+        entry.state = EntryState.CONSUMED
+        self._used_blocks -= entry.blocks
+        self.hits += 1
+        # Wake stalled scheduler threads.
+        self.sim.fire(self.space_freed)
+        self.space_freed.reset()
+
+    def abandon(self, aid: int) -> None:
+        """Release an entry that will never be consumed (e.g. the app
+        already read it synchronously) — frees the space."""
+        entry = self._entries.get(aid)
+        if entry is None or entry.state is EntryState.CONSUMED:
+            return
+        entry.state = EntryState.CONSUMED
+        self._used_blocks -= entry.blocks
+        self.sim.fire(self.space_freed)
+        self.space_freed.reset()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"GlobalBuffer({self._used_blocks}/{self.capacity_blocks} blocks, "
+            f"{self.total_prefetches} prefetches)"
+        )

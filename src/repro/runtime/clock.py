@@ -1,0 +1,57 @@
+"""Per-process local time coordination (§III).
+
+Application processes on different client nodes "do not execute in a
+lock-step fashion", so before prefetching a block written by another
+process, a scheduler thread checks the *local time* (current iteration) of
+the producer's scheduler thread.  :class:`LocalClocks` holds one iteration
+counter per process and lets waiters block until a process passes a given
+slot.
+"""
+
+from __future__ import annotations
+
+from ..sim.engine import Simulator
+from ..sim.events import Signal
+
+__all__ = ["LocalClocks"]
+
+
+class LocalClocks:
+    """Shared slot counters with condition-style waiting."""
+
+    def __init__(self, sim: Simulator, n_processes: int):
+        if n_processes < 1:
+            raise ValueError("need at least one process")
+        self.sim = sim
+        self._times = [-1] * n_processes  # -1: not started
+        self._advanced = [
+            Signal(f"clock.p{p}", restartable=True) for p in range(n_processes)
+        ]
+
+    def time_of(self, process: int) -> int:
+        """Last slot ``process`` has started executing (-1 before start)."""
+        return self._times[process]
+
+    def advance(self, process: int, slot: int) -> None:
+        """Move a process's local time forward to ``slot``."""
+        if slot < self._times[process]:
+            raise ValueError(
+                f"process {process} local time cannot go backwards "
+                f"({self._times[process]} -> {slot})"
+            )
+        if slot == self._times[process]:
+            return
+        self._times[process] = slot
+        signal = self._advanced[process]
+        self.sim.fire(signal)
+        signal.reset()
+
+    def wait_until(self, process: int, slot: int):
+        """Generator: yields until ``process``'s local time reaches
+        ``slot``.  Use as ``yield from clocks.wait_until(q, s)`` inside a
+        simulation process."""
+        while self._times[process] < slot:
+            yield self._advanced[process]
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"LocalClocks({self._times})"

@@ -1,0 +1,144 @@
+"""MPI-IO-like access layer between client nodes and the parallel FS.
+
+:class:`MPIIO` is the facade the application processes and scheduler
+threads call.  Every call maps a (file, block-run) to striped per-node
+extents, moves the request and data over the network links, and drives the
+I/O node read/write paths.  Calls return a :class:`~repro.sim.events.Signal`
+that fires on completion, so simulation processes just ``yield`` them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..net.network import Network
+from ..sim.engine import Simulator
+from ..sim.events import Signal
+from ..storage.filesystem import ParallelFileSystem
+from ..storage.striping import StripedFile
+
+__all__ = ["IOStats", "MPIIO"]
+
+#: Size of an I/O request message (header, offsets) on the wire.
+REQUEST_MESSAGE_BYTES = 256
+
+
+@dataclass
+class IOStats:
+    """Counters over every MPI-IO level call."""
+
+    reads: int = 0
+    writes: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+    total_read_latency: float = 0.0
+
+    @property
+    def mean_read_latency(self) -> float:
+        return self.total_read_latency / self.reads if self.reads else 0.0
+
+
+class MPIIO:
+    """The I/O middleware: striping + network + I/O node interaction."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        pfs: ParallelFileSystem,
+        network: Network,
+        block_bytes: dict[str, int],
+    ):
+        """``block_bytes`` maps program file names to their block size (the
+        unit the program's block indices address)."""
+        self.sim = sim
+        self.pfs = pfs
+        self.network = network
+        self.block_bytes = dict(block_bytes)
+        self.stats = IOStats()
+
+    # ------------------------------------------------------------------
+    def _extents(self, file: StripedFile, block: int, blocks: int, name: str):
+        bb = self.block_bytes[name]
+        offset = block * bb
+        size = blocks * bb
+        return self.pfs.map_access(file, offset, size)
+
+    def signature(self, name: str, block: int, blocks: int = 1) -> int:
+        """Access signature for a block run (compiler view)."""
+        file = self.pfs.file(name)
+        bb = self.block_bytes[name]
+        return self.pfs.signature(file, block * bb, blocks * bb)
+
+    # ------------------------------------------------------------------
+    def read(self, name: str, block: int, blocks: int = 1) -> Signal:
+        """MPI_File_read of a contiguous block run.
+
+        Per touched node: request message out → node read (cache/disk) →
+        data back.  The returned signal fires when the *last* node's data
+        has arrived.
+        """
+        file = self.pfs.file(name)
+        extents = self._extents(file, block, blocks, name)
+        done = Signal(f"read.{name}.{block}")
+        issued_at = self.sim.now
+        self.stats.reads += 1
+        self.stats.bytes_read += sum(e.size for e in extents)
+        pending = {"n": len(extents)}
+
+        def finish() -> None:
+            self.stats.total_read_latency += self.sim.now - issued_at
+            self.sim.fire(done)
+
+        if not extents:
+            self.sim.schedule(0.0, finish)
+            return done
+
+        for ext in extents:
+            node = self.pfs.nodes[ext.node]
+
+            def after_node_read(ext=ext) -> None:
+                self.network.from_node(ext.node, ext.size, one_done)
+
+            def after_request(ext=ext, after=after_node_read) -> None:
+                self.pfs.nodes[ext.node].read(ext.node_offset, ext.size, after)
+
+            def one_done() -> None:
+                pending["n"] -= 1
+                if pending["n"] == 0:
+                    finish()
+
+            self.network.to_node(ext.node, REQUEST_MESSAGE_BYTES, after_request)
+        return done
+
+    def write(self, name: str, block: int, blocks: int = 1) -> Signal:
+        """MPI_File_write of a contiguous block run.
+
+        Data moves to each node, lands in its write-back cache (fast), and
+        a small ack returns.  Destage to disk happens asynchronously inside
+        the I/O node.
+        """
+        file = self.pfs.file(name)
+        extents = self._extents(file, block, blocks, name)
+        done = Signal(f"write.{name}.{block}")
+        self.stats.writes += 1
+        self.stats.bytes_written += sum(e.size for e in extents)
+        pending = {"n": len(extents)}
+
+        def one_done() -> None:
+            pending["n"] -= 1
+            if pending["n"] == 0:
+                self.sim.fire(done)
+
+        if not extents:
+            self.sim.schedule(0.0, lambda: self.sim.fire(done))
+            return done
+
+        for ext in extents:
+            def after_node_write(ext=ext) -> None:
+                self.network.from_node(ext.node, REQUEST_MESSAGE_BYTES, one_done)
+
+            def after_data(ext=ext, after=after_node_write) -> None:
+                self.pfs.nodes[ext.node].write(ext.node_offset, ext.size, after)
+
+            self.network.to_node(ext.node, ext.size, after_data)
+        return done

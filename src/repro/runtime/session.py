@@ -1,0 +1,194 @@
+"""Session driver: wires clients, scheduler threads, storage and network
+into one simulator and runs a program trace to completion.
+
+This is the top-level simulation entry point the experiment harness uses.
+A :class:`Session` owns everything needed for one run: the simulator, the
+storage stack (with one power policy instance per drive), the network, the
+per-process clients, and — when the compiler scheme is on — the global
+buffer plus one scheduler thread per client.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from ..core.compiler import CompileResult
+from ..core.table import ScheduleBook
+from ..disk.specs import DiskSpec
+from ..ir.profiling import AccessTrace
+from ..net.network import Network
+from ..power.policy import PowerPolicy
+from ..sim.engine import Simulator
+from ..storage.filesystem import ParallelFileSystem
+from .buffer import GlobalBuffer
+from .client import ClientProcess
+from .clock import LocalClocks
+from .mpi_io import MPIIO
+from .scheduler_thread import SchedulerThread
+
+__all__ = ["SessionConfig", "SessionResult", "Session"]
+
+
+@dataclass(frozen=True)
+class SessionConfig:
+    """Shape of the simulated platform (Table II defaults)."""
+
+    n_ionodes: int = 8
+    stripe_size: int = 64 * 1024
+    cache_bytes: int = 64 * 1024 * 1024
+    disks_per_node: int = 1
+    raid_level: int = 0
+    prefetch_depth: int = 2
+    destage_delay: float = 0.5
+    network_latency: float = 0.0001
+    network_bandwidth_bps: float = 1e9
+    buffer_capacity_blocks: int = 512
+    scheduler_min_lead: int = 2
+    scheduler_batch_slots: int = 8
+
+
+@dataclass
+class SessionResult:
+    """Outcome of one run."""
+
+    execution_time: float
+    drives: list
+    pfs: ParallelFileSystem
+    network: Network
+    mpi_io: MPIIO
+    clients: list[ClientProcess]
+    scheduler_threads: list[SchedulerThread]
+    buffer: Optional[GlobalBuffer]
+
+    @property
+    def client_finish_times(self) -> list[float]:
+        return [c.stats.finish_time for c in self.clients]
+
+
+class Session:
+    """One complete simulation run of a traced program."""
+
+    def __init__(
+        self,
+        trace: AccessTrace,
+        disk_spec: DiskSpec,
+        policy_factory: Optional[Callable[[], PowerPolicy]],
+        config: SessionConfig = SessionConfig(),
+        compile_result: Optional[CompileResult] = None,
+    ):
+        """``compile_result`` turns the software scheme on: its schedule
+        book drives one scheduler thread per client."""
+        self.trace = trace
+        self.config = config
+        self.sim = Simulator()
+        self.pfs = ParallelFileSystem.build(
+            self.sim,
+            n_nodes=config.n_ionodes,
+            stripe_size=config.stripe_size,
+            disk_spec=disk_spec,
+            cache_bytes=config.cache_bytes,
+            policy_factory=policy_factory,
+            disks_per_node=config.disks_per_node,
+            raid_level=config.raid_level,
+            prefetch_depth=config.prefetch_depth,
+            destage_delay=config.destage_delay,
+        )
+        # Register program files on the striped FS.
+        for decl in trace.program.files.values():
+            self.pfs.create_file(decl.name, decl.size_bytes)
+        self.network = Network(
+            self.sim,
+            config.n_ionodes,
+            latency=config.network_latency,
+            bandwidth_bps=config.network_bandwidth_bps,
+        )
+        block_bytes = {
+            name: decl.block_bytes for name, decl in trace.program.files.items()
+        }
+        self.mpi_io = MPIIO(self.sim, self.pfs, self.network, block_bytes)
+        self.clocks = LocalClocks(self.sim, trace.program.n_processes)
+        self.compile_result = compile_result
+        self.buffer: Optional[GlobalBuffer] = None
+        self.scheduler_threads: list[SchedulerThread] = []
+        self.clients: list[ClientProcess] = []
+        self._build_actors()
+
+    # ------------------------------------------------------------------
+    def _build_actors(self) -> None:
+        book: Optional[ScheduleBook] = None
+        accesses_by_proc_seq: dict[int, dict[int, object]] = {}
+        if self.compile_result is not None:
+            book = self.compile_result.book
+            self.buffer = GlobalBuffer(
+                self.sim, self.config.buffer_capacity_blocks
+            )
+            # Map (process, trace seq) -> DataAccess for client lookups.
+            # determine_slacks emits accesses in (process, seq-of-read)
+            # order; recover seq from the trace read order per process.
+            per_proc_reads: dict[int, list] = {}
+            for proc_trace in self.trace.processes:
+                per_proc_reads[proc_trace.process] = [
+                    io for io in proc_trace.ios if not io.is_write
+                ]
+            cursor = {p: 0 for p in per_proc_reads}
+            for access in self.compile_result.accesses:
+                reads = per_proc_reads[access.process]
+                io = reads[cursor[access.process]]
+                cursor[access.process] += 1
+                accesses_by_proc_seq.setdefault(access.process, {})[io.seq] = access
+
+        for proc_trace in self.trace.processes:
+            pid = proc_trace.process
+            client = ClientProcess(
+                self.sim,
+                pid,
+                proc_trace,
+                self.mpi_io,
+                self.clocks,
+                buffer=self.buffer,
+                accesses_by_seq=accesses_by_proc_seq.get(pid, {}),
+            )
+            self.clients.append(client)
+            self.sim.process(client.run(), name=f"client{pid}")
+            if book is not None:
+                thread = SchedulerThread(
+                    self.sim,
+                    pid,
+                    book.table_for(pid),
+                    self.mpi_io,
+                    self.clocks,
+                    self.buffer,
+                    min_lead=self.config.scheduler_min_lead,
+                    batch_slots=self.config.scheduler_batch_slots,
+                )
+                self.scheduler_threads.append(thread)
+                self.sim.process(thread.run(), name=f"sched{pid}")
+
+    # ------------------------------------------------------------------
+    def run(self, max_events: int = 50_000_000) -> SessionResult:
+        """Run to quiescence and return the measured result.
+
+        Execution time is the latest client completion; drive timelines
+        are finalized at full drain (metrics clip to the execution window
+        as needed).
+        """
+        self.sim.run(max_events=max_events)
+        finish_times = [c.stats.finish_time for c in self.clients]
+        if any(t < 0 for t in finish_times):
+            raise RuntimeError(
+                "simulation drained before all clients finished — "
+                "likely a lost completion signal or an event-budget hit"
+            )
+        execution_time = max(finish_times)
+        self.pfs.finalize(self.sim.now)
+        return SessionResult(
+            execution_time=execution_time,
+            drives=self.pfs.all_drives(),
+            pfs=self.pfs,
+            network=self.network,
+            mpi_io=self.mpi_io,
+            clients=self.clients,
+            scheduler_threads=self.scheduler_threads,
+            buffer=self.buffer,
+        )

@@ -1,0 +1,25 @@
+"""Storage substrate: striping, RAID, storage caches, I/O nodes, PFS.
+
+This is the PVFS-plus-storage-cache half of the paper's simulation
+environment.  The :class:`ParallelFileSystem` facade assembles everything;
+:class:`StripeMap` is also consumed by the compiler to derive signatures.
+"""
+
+from .cache import CacheStats, StorageCache
+from .filesystem import ParallelFileSystem
+from .ionode import IONode, IONodeStats
+from .raid import DiskOp, RaidMap
+from .striping import Extent, StripedFile, StripeMap
+
+__all__ = [
+    "ParallelFileSystem",
+    "IONode",
+    "IONodeStats",
+    "StorageCache",
+    "CacheStats",
+    "RaidMap",
+    "DiskOp",
+    "StripeMap",
+    "StripedFile",
+    "Extent",
+]

@@ -1,0 +1,135 @@
+"""Intra-I/O-node RAID layouts (Table II: "RAID Level 5,10").
+
+An I/O node further stripes its local byte stream across its attached
+disks.  :class:`RaidMap` translates one node-local extent into the
+per-disk requests that layout implies:
+
+* **RAID-0**  — plain striping, no redundancy.
+* **RAID-5**  — block-rotating parity; a write touches the data disk and
+  the stripe's parity disk (small-write read-modify-write is modelled as
+  the two extra pre-reads).
+* **RAID-10** — mirrored pairs; reads round-robin between mirrors, writes
+  hit both.
+
+The paper's default experiments treat each I/O node as one logical disk
+("we use the terms I/O node and disk interchangeably"), which is RAID-0
+over a single drive; the richer layouts are exercised by the RAID example
+and ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Literal
+
+__all__ = ["DiskOp", "RaidMap"]
+
+RaidLevel = Literal[0, 5, 10]
+
+
+@dataclass(frozen=True)
+class DiskOp:
+    """One physical-disk operation produced by the RAID translation."""
+
+    disk: int
+    lba: int
+    nbytes: int
+    is_write: bool
+
+
+class RaidMap:
+    """Extent → per-disk operation translation for one I/O node."""
+
+    def __init__(self, level: RaidLevel, n_disks: int, chunk_size: int = 64 * 1024):
+        if level not in (0, 5, 10):
+            raise ValueError(f"unsupported RAID level: {level}")
+        if n_disks < 1:
+            raise ValueError(f"n_disks must be >= 1: {n_disks}")
+        if level == 5 and n_disks < 3:
+            raise ValueError("RAID-5 requires at least 3 disks")
+        if level == 10 and n_disks % 2 != 0:
+            raise ValueError("RAID-10 requires an even number of disks")
+        if chunk_size <= 0:
+            raise ValueError(f"chunk_size must be positive: {chunk_size}")
+        self.level = level
+        self.n_disks = n_disks
+        self.chunk_size = chunk_size
+        self._mirror_rr = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def data_disks(self) -> int:
+        """Disks worth of usable capacity per stripe row."""
+        if self.level == 5:
+            return self.n_disks - 1
+        if self.level == 10:
+            return self.n_disks // 2
+        return self.n_disks
+
+    def _chunks(self, offset: int, size: int):
+        """Yield (chunk_index, within, nbytes) covering the extent."""
+        cursor = offset
+        remaining = size
+        while remaining > 0:
+            chunk_index = cursor // self.chunk_size
+            within = cursor % self.chunk_size
+            nbytes = min(self.chunk_size - within, remaining)
+            yield chunk_index, within, nbytes
+            cursor += nbytes
+            remaining -= nbytes
+
+    def map(self, offset: int, size: int, is_write: bool) -> list[DiskOp]:
+        """Translate a node-local extent into physical disk operations."""
+        if offset < 0 or size < 0:
+            raise ValueError(f"bad extent: offset={offset}, size={size}")
+        ops: list[DiskOp] = []
+        for chunk_index, within, nbytes in self._chunks(offset, size):
+            if self.level == 0:
+                ops.extend(self._raid0(chunk_index, within, nbytes, is_write))
+            elif self.level == 5:
+                ops.extend(self._raid5(chunk_index, within, nbytes, is_write))
+            else:
+                ops.extend(self._raid10(chunk_index, within, nbytes, is_write))
+        return ops
+
+    # ------------------------------------------------------------------
+    def _raid0(self, chunk_index: int, within: int, nbytes: int, is_write: bool):
+        disk = chunk_index % self.n_disks
+        row = chunk_index // self.n_disks
+        lba = row * self.chunk_size + within
+        return [DiskOp(disk, lba, nbytes, is_write)]
+
+    def _raid5(self, chunk_index: int, within: int, nbytes: int, is_write: bool):
+        row = chunk_index // self.data_disks
+        position = chunk_index % self.data_disks
+        parity_disk = (self.n_disks - 1) - (row % self.n_disks)
+        # Data disks are the non-parity disks in row order.
+        data_disks = [d for d in range(self.n_disks) if d != parity_disk]
+        disk = data_disks[position]
+        lba = row * self.chunk_size + within
+        ops = [DiskOp(disk, lba, nbytes, is_write)]
+        if is_write:
+            # Small-write RMW: pre-read old data + old parity, write parity.
+            ops.append(DiskOp(disk, lba, nbytes, False))
+            ops.append(DiskOp(parity_disk, lba, nbytes, False))
+            ops.append(DiskOp(parity_disk, lba, nbytes, True))
+        return ops
+
+    def _raid10(self, chunk_index: int, within: int, nbytes: int, is_write: bool):
+        pair = chunk_index % self.data_disks
+        row = chunk_index // self.data_disks
+        primary = pair * 2
+        mirror = primary + 1
+        lba = row * self.chunk_size + within
+        if is_write:
+            return [
+                DiskOp(primary, lba, nbytes, True),
+                DiskOp(mirror, lba, nbytes, True),
+            ]
+        # Round-robin reads across the mirror pair.
+        self._mirror_rr ^= 1
+        chosen = primary if self._mirror_rr == 0 else mirror
+        return [DiskOp(chosen, lba, nbytes, False)]
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"RaidMap(level={self.level}, disks={self.n_disks})"

@@ -1,0 +1,138 @@
+"""ASCII visualizations of schedules and drive timelines.
+
+Two renderers, both text-only (no plotting dependencies):
+
+* :func:`access_density_timeline` — per-I/O-node access density across
+  the slot axis, before and after scheduling.  Makes the paper's central
+  effect visible at a glance: the "after" picture has denser, narrower
+  bands and wider blank stretches.
+* :func:`drive_state_gantt` — one row per drive showing which power state
+  it occupied over wall-clock time.
+"""
+
+from __future__ import annotations
+
+from .core.compiler import CompileResult
+from .disk import states as st
+from .disk.drive import Drive
+
+__all__ = ["access_density_timeline", "drive_state_gantt"]
+
+#: Density glyphs from empty to saturated.
+SHADES = " .:-=+*#%@"
+
+#: One-character labels for drive state families.
+STATE_GLYPHS = {
+    st.IDLE: ".",
+    st.ACTIVE_READ: "R",
+    st.ACTIVE_WRITE: "W",
+    st.SEEK: "s",
+    st.STANDBY: "_",
+    st.SPIN_UP: "^",
+    st.SPIN_DOWN: "v",
+    "rpm_up": "/",
+    "rpm_down": "\\",
+}
+
+
+def _shade(count: int, max_count: int) -> str:
+    if count <= 0 or max_count <= 0:
+        return SHADES[0]
+    level = min(len(SHADES) - 1, 1 + (count * (len(SHADES) - 2)) // max_count)
+    return SHADES[level]
+
+
+def access_density_timeline(result: CompileResult, width: int = 72) -> str:
+    """Render per-node access density before vs after scheduling.
+
+    Each column aggregates ``n_slots / width`` slots; each row is one I/O
+    node; the glyph encodes how many scheduled accesses touch that node in
+    that slot range.
+    """
+    if width < 8:
+        raise ValueError(f"width too small: {width}")
+    n_slots = max(result.book.n_slots, 1)
+    n_nodes = result.state.n_nodes
+    per_col = max(1, -(-n_slots // width))
+    cols = -(-n_slots // per_col)
+
+    def densities(slot_of) -> list[list[int]]:
+        grid = [[0] * cols for _ in range(n_nodes)]
+        for access in result.accesses:
+            col = min(slot_of(access) // per_col, cols - 1)
+            for node in range(n_nodes):
+                if access.signature >> node & 1:
+                    grid[node][col] += 1
+        return grid
+
+    before = densities(lambda a: a.original_slot)
+    after = densities(lambda a: a.scheduled_slot)
+    peak = max(
+        max(max(row) for row in before), max(max(row) for row in after), 1
+    )
+
+    def render(grid: list[list[int]], title: str) -> list[str]:
+        lines = [f"{title} (slots 0..{n_slots - 1}, {per_col} slots/column, "
+                 f"peak {peak} accesses)"]
+        for node, row in enumerate(grid):
+            lines.append(
+                f"node {node:2d} |" + "".join(_shade(c, peak) for c in row) + "|"
+            )
+        return lines
+
+    out = render(before, "BEFORE scheduling — original access points")
+    out.append("")
+    out.extend(render(after, "AFTER scheduling — chosen slots"))
+    return "\n".join(out)
+
+
+def drive_state_gantt(
+    drives: list[Drive], horizon: float, width: int = 72
+) -> str:
+    """Render each drive's dominant power state per time column.
+
+    Legend: ``R``/``W`` active, ``s`` seek, ``.`` idle (full speed shown
+    uppercase-free), ``_`` standby, ``^``/``v`` spin transitions,
+    ``/``/``\\`` RPM ramps; digits 1-9 mark idle at a reduced speed
+    (1 = just below max … 9 = deepest).
+    """
+    if horizon <= 0:
+        raise ValueError(f"horizon must be positive: {horizon}")
+    dt = horizon / width
+    lines = [f"0s {'-' * (width - 8)} {horizon:.0f}s"]
+    for drive in drives:
+        # Dominant state per column by occupancy time.
+        occupancy: list[dict[str, float]] = [dict() for _ in range(width)]
+        for iv in drive.timeline.intervals():
+            if iv.start >= horizon:
+                break
+            first = int(iv.start / dt)
+            last = min(int(min(iv.end, horizon - 1e-9) / dt), width - 1)
+            for col in range(first, last + 1):
+                lo = max(iv.start, col * dt)
+                hi = min(iv.end, (col + 1) * dt, horizon)
+                if hi > lo:
+                    bucket = occupancy[col]
+                    bucket[iv.state] = bucket.get(iv.state, 0.0) + (hi - lo)
+        row = []
+        for bucket in occupancy:
+            if not bucket:
+                row.append(" ")
+                continue
+            state = max(bucket, key=bucket.get)
+            base = st.base_state(state)
+            if base == st.IDLE:
+                rpm = st.parse_rpm(state, drive.spec.max_rpm)
+                if rpm == drive.spec.max_rpm:
+                    row.append(".")
+                else:
+                    depth = (drive.spec.max_rpm - rpm) // drive.spec.rpm_step
+                    row.append(str(min(depth, 9)))
+            else:
+                row.append(STATE_GLYPHS.get(base, "?"))
+        lines.append(f"{drive.name[-12:]:>12} |" + "".join(row) + "|")
+    lines.append(
+        "legend: . idle@max  1-9 idle@reduced  R/W active  s seek  "
+        "_ standby  ^ spin-up  v spin-down  / ramp-up  \\ ramp-down"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,26 @@
+"""The six application models of the paper's evaluation (Table III).
+
+Importing this package registers all six; use :func:`get_workload` /
+:func:`all_workloads` to enumerate them.
+"""
+
+from .base import WorkloadInfo, all_workloads, get_workload, jitter, register
+from .multi import merge_traces
+
+# Importing the modules registers each workload.
+from . import apsi, astro, hf, madbench2, sar, wupwise  # noqa: F401,E402
+
+__all__ = [
+    "WorkloadInfo",
+    "merge_traces",
+    "get_workload",
+    "all_workloads",
+    "register",
+    "jitter",
+    "hf",
+    "sar",
+    "astro",
+    "apsi",
+    "madbench2",
+    "wupwise",
+]

@@ -1,0 +1,101 @@
+"""``apsi`` — pollutant-distribution modelling (out-of-core SPEC apsi).
+
+Paper profile (Table III): 13.7 min.
+
+Structure modelled: a time-stepped 2-D advection/diffusion stencil whose
+mesh slabs live on disk, alternating with chemistry-integration
+stretches.
+
+* **Advection steps**: each timestep every process reads its own slab
+  block plus its *right neighbour's* slab block written the previous
+  timestep — a genuine inter-process producer→consumer dependence.  For
+  the last process the neighbour subscript wraps onto process 0's
+  current-step block, i.e. a read that precedes its producing write in
+  normalized iteration space: the paper's *negative slack* (Fig. 6(b)),
+  clamped to length 1.  An emissions-forcing read per step carries long
+  input slack.
+* **Chemistry stretch** after each epoch: three ~75 s stiff-ODE slots
+  with a rate-table read between them — the spin-down-scale idles.
+
+Affine subscripts and constant costs ⇒ polyhedral path.
+"""
+
+from __future__ import annotations
+
+from ..ir.affine import var
+from ..ir.program import Compute, FileDecl, Loop, Program, Read, Write
+from .base import WorkloadInfo, jitter, register, scaled
+
+__all__ = ["build"]
+
+BLOCK_BYTES = 128 * 1024   # 2 stripes -> 2-node signatures (cf. Fig. 9)
+EPOCHS = 3
+STEPS_PER_EPOCH = 55
+STRETCH_SLOTS = 5
+STEP_SLOTS = 6            # fine compute slots per timestep
+STEP_COST = 0.45
+STRETCH_COST = 31.0
+
+
+def build(n_processes: int = 32, scale: float = 1.0) -> Program:
+    """Build the apsi program.
+
+    ``scale=1.0`` ⇒ ≈14 simulated minutes with 32 processes.
+    """
+    steps = scaled(STEPS_PER_EPOCH, scale)
+    stretch_slots = scaled(STRETCH_SLOTS, scale, minimum=4)
+    steps_total = EPOCHS * steps
+    p = var("p")
+    e = var("e")
+    t = var("t")
+
+    # slab block (k * P + p) holds process p's slab after global step k.
+    files = {
+        "slab": FileDecl("slab", (steps_total + 1) * n_processes + 1, BLOCK_BYTES),
+        "emissions": FileDecl("emissions", 3 * n_processes * steps_total, BLOCK_BYTES),
+        "rates": FileDecl(
+            "rates", 5 * n_processes * EPOCHS * stretch_slots, BLOCK_BYTES
+        ),
+    }
+
+    # Global step index of (epoch e, step t) is e*steps + t.
+    gstep = e * steps + t
+
+    body = [
+        # Seed slabs at step 0.
+        Write("slab", p),
+        Compute(STEP_COST),
+        Loop("e", 0, EPOCHS - 1, body=[
+            Loop("t", 1, steps - 1, body=[
+                # Own slab from the previous global step.
+                Read("slab", (gstep - 1) * n_processes + p),
+                # Right neighbour's previous slab (inter-process slack;
+                # wraps to a negative slack for the last process).
+                Read("slab", (gstep - 1) * n_processes + p + 1),
+                # Fresh emission forcing (input file, long slack).
+                Read("emissions", (p * steps_total + gstep) * 3),
+            ] + [Compute(jitter(STEP_COST, 0.05, k)) for k in range(STEP_SLOTS // 2)] + [
+                Write("slab", gstep * n_processes + p),
+            ] + [Compute(jitter(STEP_COST, 0.05, 50 + k)) for k in range(STEP_SLOTS - STEP_SLOTS // 2)] + [
+            ]),
+            # Chemistry stretch: runs of long idle periods.
+            Loop("cs", 0, stretch_slots - 1, body=[
+                Read("rates",
+                     (p + n_processes * (e * stretch_slots + var("cs"))) * 5),
+                Compute(jitter(STRETCH_COST, 0.02, 99)),
+            ]),
+        ]),
+    ]
+    return Program("apsi", n_processes, files, body)
+
+
+register(
+    WorkloadInfo(
+        name="apsi",
+        description="Pollutant-distribution stencil: inter-process "
+        "producer/consumer slacks, negative-slack clamping, chemistry "
+        "stretches",
+        build=build,
+        affine=True,
+    )
+)

@@ -1,0 +1,95 @@
+"""``astro`` — astronomical data analysis model.
+
+Paper profile (Table III): 16.8 min, mid-pack idle distribution.
+
+Structure modelled: cross-matching sweeps over a large observation
+catalog, alternating with model-fitting stretches.
+
+* **Sweep**: every phase each process reads two *scattered* observation
+  blocks — the subscript is a modular stride (non-affine, so the paper's
+  profiling tool, not the Omega path, extracts the slacks).  Scattered
+  subscripts decorrelate I/O-node signatures across processes, the
+  situation the signature-distance grouping exploits.  Compute jitter
+  lets processes drift, smearing bursts into broader mid gaps.
+* **Fit stretch**: runs of three ~80 s likelihood slots with one prior
+  block read apiece — the spin-down opportunities.
+"""
+
+from __future__ import annotations
+
+from ..ir.affine import var
+from ..ir.program import Compute, FileDecl, Loop, Program, Read, Write
+from .base import WorkloadInfo, jitter, register, scaled
+
+__all__ = ["build"]
+
+BLOCK_BYTES = 128 * 1024   # 2 stripes -> 2-node signatures (cf. Fig. 9)
+STRIDE = 17
+SUPERSTEPS = 3
+PHASES_PER_SS = 60
+STRETCH_SLOTS = 5
+PHASE_SLOTS = 8
+PHASE_COST = 0.4
+STRETCH_COST = 18.0
+
+
+def build(n_processes: int = 32, scale: float = 1.0) -> Program:
+    """Build the astro program.
+
+    ``scale=1.0`` ⇒ ≈16 simulated minutes with 32 processes.
+    """
+    phases = scaled(PHASES_PER_SS, scale)
+    stretch_slots = scaled(STRETCH_SLOTS, scale, minimum=4)
+    phases_total = SUPERSTEPS * phases
+    n_obs_blocks = 4 * n_processes * phases_total
+
+    def scattered(offset: int):
+        """Non-affine modular-stride subscript (indirection stand-in)."""
+
+        def block(env: dict) -> int:
+            raw = (
+                env["p"] * 31
+                + (env["ss"] * phases + env["ph"]) * STRIDE
+                + offset
+            )
+            return raw % n_obs_blocks
+
+        return block
+
+    files = {
+        "observations": FileDecl("observations", n_obs_blocks, BLOCK_BYTES),
+        "priors": FileDecl(
+            "priors", 5 * n_processes * SUPERSTEPS * stretch_slots, BLOCK_BYTES
+        ),
+        "matches": FileDecl("matches", n_processes * SUPERSTEPS, BLOCK_BYTES),
+    }
+
+    body = [
+        Loop("ss", 0, SUPERSTEPS - 1, body=[
+            Loop("ph", 0, phases - 1, body=[
+                Read("observations", scattered(0)),
+                Read("observations", scattered(1)),
+            ] + [Compute(jitter(PHASE_COST, 0.06, k)) for k in range(PHASE_SLOTS)] + [
+            ]),
+            Write("matches", var("p") * SUPERSTEPS + var("ss")),
+            Compute(jitter(0.5, 0.06, 3)),
+            Loop("fs", 0, stretch_slots - 1, body=[
+                Read("priors",
+                     (var("p")
+                      + n_processes * (var("ss") * stretch_slots + var("fs"))) * 5),
+                Compute(jitter(STRETCH_COST, 0.03, 4)),
+            ]),
+        ]),
+    ]
+    return Program("astro", n_processes, files, body)
+
+
+register(
+    WorkloadInfo(
+        name="astro",
+        description="Astronomical catalog analysis: scattered non-affine "
+        "reads, drifting processes, fit stretches (profiling path)",
+        build=build,
+        affine=False,
+    )
+)

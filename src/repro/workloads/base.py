@@ -1,0 +1,89 @@
+"""Workload infrastructure: registry, deterministic jitter, scaling.
+
+Each of the six application models (Table III) exposes a ``build``
+function returning a :class:`~repro.ir.program.Program`.  The models are
+synthetic equivalents of the paper's applications: they reproduce the
+*access-pattern structure* the framework consumes — blocked reads/writes
+over striped files, producer→consumer chains, phase behaviour, and the
+per-app idle-period character of Figure 12(a) — not the numerics.
+
+``scale`` shrinks the phase counts (and hence slots, accesses and
+simulated duration) proportionally so tests and benchmarks can run the
+same code paths in seconds; ``scale=1.0`` approximates the paper's
+execution-time magnitudes.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+from typing import Callable
+
+from ..ir.program import Program
+
+__all__ = ["WorkloadInfo", "register", "get_workload", "all_workloads", "jitter"]
+
+
+@dataclass(frozen=True)
+class WorkloadInfo:
+    """Registry entry for one application model."""
+
+    name: str
+    description: str
+    build: Callable[..., Program]
+    affine: bool  # which slack-extraction path the paper would use
+
+
+_REGISTRY: dict[str, WorkloadInfo] = {}
+
+
+def register(info: WorkloadInfo) -> WorkloadInfo:
+    """Add a workload to the registry (idempotent per name)."""
+    _REGISTRY[info.name] = info
+    return info
+
+
+def get_workload(name: str) -> WorkloadInfo:
+    if name not in _REGISTRY:
+        raise KeyError(
+            f"unknown workload {name!r}; available: {sorted(_REGISTRY)}"
+        )
+    return _REGISTRY[name]
+
+
+def all_workloads() -> list[WorkloadInfo]:
+    """All registered workloads, paper order."""
+    order = ["hf", "sar", "astro", "apsi", "madbench2", "wupwise"]
+    known = [
+        _REGISTRY[name] for name in order if name in _REGISTRY
+    ]
+    extras = [info for name, info in sorted(_REGISTRY.items()) if name not in order]
+    return known + extras
+
+
+def jitter(base: float, amplitude: float, *keys: int) -> Callable[[dict], float]:
+    """A deterministic per-(process, iteration) compute-cost callable.
+
+    Returns ``base * (1 ± amplitude)`` keyed by a CRC of the given loop
+    variable names' values plus any constants in ``keys`` — reproducible
+    across runs, no global RNG.  The returned callable makes the owning
+    program non-affine (profiling path), exactly like data-dependent
+    compute in the real applications.
+    """
+    if amplitude < 0 or amplitude >= 1:
+        raise ValueError(f"amplitude must be in [0, 1): {amplitude}")
+
+    def cost(env: dict) -> float:
+        material = ",".join(
+            f"{k}={v}" for k, v in sorted(env.items()) if isinstance(v, int)
+        )
+        material += "|" + ",".join(str(k) for k in keys)
+        h = zlib.crc32(material.encode()) / 0xFFFFFFFF  # [0, 1]
+        return base * (1.0 + amplitude * (2.0 * h - 1.0))
+
+    return cost
+
+
+def scaled(count: int, scale: float, minimum: int = 2) -> int:
+    """Scale an iteration count, keeping at least ``minimum``."""
+    return max(minimum, int(round(count * scale)))

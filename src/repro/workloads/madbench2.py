@@ -1,0 +1,92 @@
+"""``madbench2`` — cosmic-microwave-background likelihood model.
+
+Paper profile (Table III / Fig. 12(a)): 9.8 min, and — like hf —
+dominated by very short idle periods; the spin-down policies barely find
+anything to use here.
+
+Structure modelled after MADbench's out-of-core phases over large dense
+matrices spilled to disk:
+
+* **dSdC** (write-heavy): every process writes one six-block derivative-
+  matrix row per step;
+* **invD** (read+write): re-reads the dSdC rows — long intra-process
+  producer→consumer slacks spanning a whole phase — and writes two
+  inverse blocks.  The dSdC working set deliberately exceeds the
+  per-I/O-node storage cache, so this phase's sequential re-scan
+  LRU-thrashes the caches and genuinely hits the disks (MADbench's
+  out-of-core point);
+* **W** (read-heavy): re-reads the invD blocks, two per step — those
+  *do* still fit in the caches, giving the phase-dependent mix of
+  disk-bound and cache-bound traffic.
+
+One short (~28 s) likelihood-evaluation slot separates the phases — far
+too short for spin-down, which is what keeps that mechanism ineffective
+on this app.  Mild jitter ⇒ smeared request bursts.
+"""
+
+from __future__ import annotations
+
+from ..ir.affine import var
+from ..ir.program import Compute, FileDecl, Loop, Program, Read, Write
+from .base import WorkloadInfo, jitter, register, scaled
+
+__all__ = ["build"]
+
+BLOCK_BYTES = 128 * 1024   # 2 stripes -> 2-node signatures (cf. Fig. 9)
+STEPS = 96
+ROW_BLOCKS = 6             # dSdC row size; sized to thrash the node caches
+STEP_SLOTS = 3             # fine compute slots per half-step
+STEP_COST = 0.2
+BOUNDARY_COST = 28.0
+
+
+def build(n_processes: int = 32, scale: float = 1.0) -> Program:
+    """Build the madbench2 program.
+
+    ``scale=1.0`` ⇒ ≈10 simulated minutes with 32 processes.
+    """
+    steps = scaled(STEPS, scale)
+    p = var("p")
+    s = var("s")
+
+    files = {
+        "dsdc": FileDecl("dsdc", ROW_BLOCKS * n_processes * steps, BLOCK_BYTES),
+        "invd": FileDecl("invd", 2 * n_processes * steps, BLOCK_BYTES),
+    }
+    row = (p * steps + s) * ROW_BLOCKS
+
+    body = [
+        # Phase 1 — dSdC: write one derivative row per step.
+        Loop("s", 0, steps - 1, body=[
+            Write("dsdc", row, blocks=ROW_BLOCKS),
+        ] + [Compute(jitter(STEP_COST, 0.03, 11))] * STEP_SLOTS),
+        Compute(BOUNDARY_COST),
+        # Phase 2 — invD: scan the phase-1 rows back, write inverses.
+        Loop("s", 0, steps - 1, body=[
+            Read("dsdc", row, blocks=ROW_BLOCKS),
+        ] + [Compute(jitter(STEP_COST, 0.03, 12))] * STEP_SLOTS + [
+            Write("invd", (p * steps + s) * 2, blocks=2),
+        ] + [Compute(jitter(STEP_COST, 0.03, 13))] * STEP_SLOTS),
+        Compute(BOUNDARY_COST),
+        # Phase 3 — W: read-heavy sweep over the (cache-resident) inverses.
+        Loop("s", 0, steps - 1, body=[
+            Read("invd", (p * steps + s) * 2),
+            # The W recursion also touches the (by now cache-evicted)
+            # derivative rows, so this phase still reaches the disks.
+            Read("dsdc", row),
+        ] + [Compute(jitter(STEP_COST, 0.03, 14))] * STEP_SLOTS + [
+            Read("invd", ((p + 1) * steps - 1 - s) * 2 + 1),  # reverse sweep
+        ] + [Compute(jitter(STEP_COST, 0.03, 15))] * STEP_SLOTS),
+    ]
+    return Program("madbench2", n_processes, files, body)
+
+
+register(
+    WorkloadInfo(
+        name="madbench2",
+        description="MADbench-style CMB likelihood: write→read phase "
+        "chains, cache-thrashing out-of-core scans, almost no long idles",
+        build=build,
+        affine=True,
+    )
+)

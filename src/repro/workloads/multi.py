@@ -1,0 +1,67 @@
+"""Multi-application scenarios — the paper's stated future work (§VII).
+
+Two or more traced programs share the same I/O nodes: their processes are
+renumbered into one SPMD space and their files are prefixed into one
+namespace, producing a merged :class:`AccessTrace` that the compiler and
+the session driver consume exactly like a single application's.  The
+interesting question the paper poses — can scheduling still lengthen idle
+periods when independent applications interleave? — then runs on the
+ordinary harness.
+"""
+
+from __future__ import annotations
+
+from ..ir.profiling import AccessTrace, ProcessTrace, TracedIO
+from ..ir.program import FileDecl, Program
+
+__all__ = ["merge_traces"]
+
+
+def merge_traces(traces: list[AccessTrace], name: str = "multi") -> AccessTrace:
+    """Merge independently traced programs into one co-scheduled trace.
+
+    Process ids are renumbered contiguously (program 0 first); file names
+    get an ``appN:`` prefix so the namespaces cannot collide.  The merged
+    trace's program has an empty body — it exists only to carry the file
+    declarations and process count downstream.
+    """
+    if not traces:
+        raise ValueError("need at least one trace to merge")
+
+    merged_files: dict[str, FileDecl] = {}
+    merged_processes: list[ProcessTrace] = []
+    pid_base = 0
+    for index, trace in enumerate(traces):
+        prefix = f"app{index}:"
+        for fname, decl in trace.program.files.items():
+            merged_files[prefix + fname] = FileDecl(
+                prefix + fname, decl.n_blocks, decl.block_bytes
+            )
+        for proc in trace.processes:
+            merged_processes.append(
+                ProcessTrace(
+                    process=pid_base + proc.process,
+                    slot_costs=list(proc.slot_costs),
+                    ios=[
+                        TracedIO(
+                            process=pid_base + io.process,
+                            slot=io.slot,
+                            seq=io.seq,
+                            is_write=io.is_write,
+                            file=prefix + io.file,
+                            block=io.block,
+                            blocks=io.blocks,
+                        )
+                        for io in proc.ios
+                    ],
+                )
+            )
+        pid_base += trace.program.n_processes
+
+    program = Program(
+        name=name,
+        n_processes=pid_base,
+        files=merged_files,
+        body=(),
+    )
+    return AccessTrace(program=program, processes=merged_processes)

@@ -1,0 +1,77 @@
+"""``sar`` — Synthetic Aperture Radar kernel model.
+
+Paper profile (Table III): 11.1 min, the smallest data set of the suite
+(~190 GB in the paper), a classic streaming kernel.
+
+Structure modelled: swaths of range/azimuth processing.  Within a swath
+every process streams one private raw-echo block in per phase (perfectly
+sequential on disk), runs two FFT-ish compute slots, and writes one
+processed image block.  Between swaths a short autofocus **calibration
+stretch** (two ~70 s slots with one parameter-block read each) provides
+the workload's only spin-down-size idle periods.  Constant costs ⇒
+affine path, lockstep bursts.
+"""
+
+from __future__ import annotations
+
+from ..ir.affine import var
+from ..ir.program import Compute, FileDecl, Loop, Program, Read, Write
+from .base import WorkloadInfo, jitter, register, scaled
+
+__all__ = ["build"]
+
+BLOCK_BYTES = 128 * 1024   # 2 stripes -> 2-node signatures (cf. Fig. 9)
+SWATHS = 4
+PHASES_PER_SWATH = 40
+STRETCH_SLOTS = 3
+PHASE_SLOTS = 6           # fine compute slots per phase
+PHASE_COST = 0.37         # seconds per fine compute slot
+STRETCH_COST = 130.0
+
+
+def build(n_processes: int = 32, scale: float = 1.0) -> Program:
+    """Build the sar program.
+
+    ``scale=1.0`` ⇒ ≈11 simulated minutes with 32 processes.
+    """
+    phases = scaled(PHASES_PER_SWATH, scale)
+    stretch_slots = scaled(STRETCH_SLOTS, scale, minimum=3)
+    p = var("p")
+    sw = var("sw")
+    ph = var("ph")
+
+    phases_total = SWATHS * phases
+    files = {
+        "raw": FileDecl("raw", n_processes * phases_total, BLOCK_BYTES),
+        "image": FileDecl("image", n_processes * phases_total, BLOCK_BYTES),
+        "autofocus": FileDecl(
+            "autofocus", 5 * n_processes * SWATHS * stretch_slots, BLOCK_BYTES
+        ),
+    }
+
+    body = [
+        Loop("sw", 0, SWATHS - 1, body=[
+            Loop("ph", 0, phases - 1, body=[
+                Read("raw", p * phases_total + sw * phases + ph),
+            ] + [Compute(jitter(PHASE_COST, 0.05, k)) for k in range(PHASE_SLOTS)] + [
+                Write("image", p * phases_total + sw * phases + ph),
+            ]),
+            Loop("cal", 0, stretch_slots - 1, body=[
+                Read("autofocus",
+                     (p + n_processes * (sw * stretch_slots + var("cal"))) * 5),
+                Compute(jitter(STRETCH_COST, 0.01, 99)),
+            ]),
+        ]),
+    ]
+    return Program("sar", n_processes, files, body)
+
+
+register(
+    WorkloadInfo(
+        name="sar",
+        description="SAR kernel: sequential streaming with write-behind "
+        "output and short calibration stretches",
+        build=build,
+        affine=True,
+    )
+)

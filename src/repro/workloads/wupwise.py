@@ -1,0 +1,94 @@
+"""``wupwise`` — lattice-QCD model (out-of-core SPEC wupwise).
+
+Paper profile (Table III / Fig. 12(a)): the longest run of the suite
+(39.8 min) with the largest data set (~446 GB in the paper), and the
+*longest* idle periods — long BiCGStab compute stretches separate the
+I/O bursts, so a visible fraction of idle periods reaches many seconds.
+
+Structure modelled: epochs of a matrix-vector solver over lattice gauge
+fields spilled to disk.  Each solver iteration reads two gauge-field
+blocks, grinds through three long-ish compute slots (the mid-gap
+population is wider than the other apps'), and writes one residual
+block.  Each epoch ends with a **deflation stretch** — five ~110 s
+eigensolver slots with one projector-block read apiece — plus a
+four-block checkpoint burst.  Jittered costs leave the affine
+(polyhedral) path available — dependences are functions of subscripts
+only — while drifting processes smear bursts into a heavy idle tail.
+"""
+
+from __future__ import annotations
+
+from ..ir.affine import var
+from ..ir.program import Compute, FileDecl, Loop, Program, Read, Write
+from .base import WorkloadInfo, jitter, register, scaled
+
+__all__ = ["build"]
+
+BLOCK_BYTES = 128 * 1024   # 2 stripes -> 2-node signatures (cf. Fig. 9)
+EPOCHS = 2
+ITERS_PER_EPOCH = 30
+STRETCH_SLOTS = 5
+ITER_SLOTS = 12          # fine compute slots per solver iteration
+ITER_COST = 1.0          # seconds per fine compute slot
+STRETCH_COST = 150.0
+
+
+def build(n_processes: int = 32, scale: float = 1.0) -> Program:
+    """Build the wupwise program.
+
+    ``scale=1.0`` ⇒ ≈35 simulated minutes with 32 processes.
+    """
+    iters = scaled(ITERS_PER_EPOCH, scale)
+    stretch_slots = scaled(STRETCH_SLOTS, scale, minimum=3)
+    iters_total = EPOCHS * iters
+    p = var("p")
+    e = var("e")
+    it = var("it")
+    giter = e * iters + it
+
+    files = {
+        "gauge": FileDecl("gauge", 2 * n_processes * iters_total, BLOCK_BYTES),
+        "residual": FileDecl("residual", n_processes * iters_total, BLOCK_BYTES),
+        "projector": FileDecl(
+            "projector", 5 * n_processes * EPOCHS * stretch_slots, BLOCK_BYTES
+        ),
+        "checkpoint": FileDecl(
+            "checkpoint", 4 * n_processes * EPOCHS, BLOCK_BYTES
+        ),
+    }
+
+    body = [
+        Loop("e", 0, EPOCHS - 1, body=[
+            Loop("it", 0, iters - 1, body=[
+                Read("gauge", (p * iters_total + giter) * 2),
+                Read("gauge", (p * iters_total + giter) * 2 + 1),
+            ] + [Compute(jitter(ITER_COST, 0.07, k)) for k in range(ITER_SLOTS // 2)] + [
+                Write("residual", p * iters_total + giter),
+            ] + [Compute(jitter(ITER_COST, 0.07, 100 + k)) for k in range(ITER_SLOTS - ITER_SLOTS // 2)] + [
+            ]),
+            # Deflation stretch: runs of very long idle periods.
+            Loop("ds", 0, stretch_slots - 1, body=[
+                Read("projector",
+                     (p + n_processes * (e * stretch_slots + var("ds"))) * 5),
+                Compute(jitter(STRETCH_COST, 0.03, 24)),
+            ]),
+            # Checkpoint burst.
+            Write("checkpoint", (p * EPOCHS + e) * 4),
+            Write("checkpoint", (p * EPOCHS + e) * 4 + 1),
+            Write("checkpoint", (p * EPOCHS + e) * 4 + 2),
+            Write("checkpoint", (p * EPOCHS + e) * 4 + 3),
+            Compute(jitter(1.0, 0.07, 25)),
+        ]),
+    ]
+    return Program("wupwise", n_processes, files, body)
+
+
+register(
+    WorkloadInfo(
+        name="wupwise",
+        description="Lattice-QCD solver: wide mid gaps, deflation "
+        "stretches with very long idles, checkpoint bursts",
+        build=build,
+        affine=True,
+    )
+)

@@ -1,0 +1,52 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.disk import DiskRequest, DiskSpec, Drive
+from repro.sim import Simulator
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    return Simulator()
+
+
+def fast_spec(**overrides) -> DiskSpec:
+    """A disk spec with transitions shrunk so policy tests run in short
+    simulated horizons.  Power numbers stay at Table II values."""
+    defaults = dict(
+        name="fast-test-disk",
+        spin_up_time=2.0,
+        spin_down_time=1.0,
+        rpm_change_time_per_step=0.25,
+    )
+    defaults.update(overrides)
+    return DiskSpec(**defaults)
+
+
+def multispeed_fast_spec(**overrides) -> DiskSpec:
+    overrides.setdefault("min_rpm", 3_600)
+    return fast_spec(**overrides)
+
+
+def make_drive(sim: Simulator, spec: DiskSpec | None = None, **kwargs) -> Drive:
+    return Drive(sim, spec or fast_spec(), name="test-disk", **kwargs)
+
+
+def submit_read(
+    sim: Simulator, drive: Drive, at: float, lba: int = 0, nbytes: int = 64 * 1024
+) -> DiskRequest:
+    """Schedule one read submission at an absolute time."""
+    req = DiskRequest(lba=lba, nbytes=nbytes)
+    sim.schedule_at(at, drive.submit, req)
+    return req
+
+
+def drain(sim: Simulator, drive: Drive) -> None:
+    """Run to quiescence and finalize the drive's timeline."""
+    sim.run()
+    drive.finalize()
+    if drive.policy is not None:
+        drive.policy.on_simulation_end(sim.now)

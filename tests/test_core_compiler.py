@@ -1,0 +1,161 @@
+"""Tests for scheduling tables and the compiler driver."""
+
+import pytest
+
+from repro.core import (
+    CompilerOptions,
+    DataAccess,
+    ScheduleBook,
+    ScheduleTable,
+    SlackOptions,
+    compile_schedule,
+)
+from repro.ir import Compute, FileDecl, Loop, Program, Read, Write, var
+from repro.storage import StripedFile, StripeMap
+
+KB = 1024
+
+
+def access(aid, process, slot, original=None):
+    a = DataAccess(
+        aid=aid, process=process, original_slot=original or slot,
+        begin=0, end=max(slot, original or slot), signature=0b1,
+    )
+    a.scheduled_slot = slot
+    return a
+
+
+class TestScheduleTable:
+    def test_add_and_lookup(self):
+        table = ScheduleTable(process=0)
+        a = access(0, 0, 3)
+        table.add(a)
+        assert table.at(3) == [a]
+        assert table.at(4) == []
+        assert len(table) == 1
+
+    def test_wrong_process_rejected(self):
+        table = ScheduleTable(process=0)
+        with pytest.raises(ValueError):
+            table.add(access(0, 1, 3))
+
+    def test_unscheduled_rejected(self):
+        table = ScheduleTable(process=0)
+        a = DataAccess(aid=0, process=0, original_slot=1, begin=0, end=1,
+                       signature=0b1)
+        with pytest.raises(ValueError):
+            table.add(a)
+
+    def test_iteration_in_slot_order(self):
+        table = ScheduleTable(process=0)
+        for slot in (7, 2, 5):
+            table.add(access(slot, 0, slot))
+        assert [slot for slot, _a in table] == [2, 5, 7]
+
+
+class TestScheduleBook:
+    def test_from_accesses_partitions_by_process(self):
+        accesses = [access(i, i % 2, i) for i in range(6)]
+        book = ScheduleBook.from_accesses(accesses, n_processes=2, n_slots=10)
+        assert len(book.table_for(0)) == 3
+        assert len(book.table_for(1)) == 3
+        assert book.access_count() == 6
+
+    def test_unknown_process_raises(self):
+        book = ScheduleBook.from_accesses([], n_processes=1, n_slots=5)
+        with pytest.raises(KeyError):
+            book.table_for(3)
+
+    def test_moved_count(self):
+        a = access(0, 0, 2, original=8)
+        b = access(1, 0, 5, original=5)
+        book = ScheduleBook.from_accesses([a, b], n_processes=1, n_slots=10)
+        assert book.moved_count() == 1
+
+    def test_all_accesses_sorted_by_aid(self):
+        accesses = [access(i, 0, 9 - i) for i in range(5)]
+        book = ScheduleBook.from_accesses(accesses, n_processes=1, n_slots=10)
+        assert [a.aid for a in book.all_accesses()] == list(range(5))
+
+
+def sample_program(n_processes=4, phases=8):
+    files = {
+        "in": FileDecl("in", n_processes * phases, 128 * KB),
+        "out": FileDecl("out", n_processes * phases, 128 * KB),
+    }
+    body = [
+        Loop("i", 0, phases - 1, body=[
+            Read("in", var("p") * phases + var("i")),
+            Compute(0.5), Compute(0.5), Compute(0.5),
+            Write("out", var("p") * phases + var("i")),
+            Compute(0.5),
+        ]),
+    ]
+    return Program("sample", n_processes, files, body)
+
+
+class TestCompileSchedule:
+    def compile(self, program=None, **options):
+        program = program or sample_program()
+        smap = StripeMap(64 * KB, 8)
+        files = {
+            name: StripedFile(name, decl.size_bytes)
+            for name, decl in program.files.items()
+        }
+        return compile_schedule(
+            program, smap, files, CompilerOptions(**options)
+        )
+
+    def test_every_read_scheduled(self):
+        result = self.compile()
+        assert all(a.is_scheduled for a in result.accesses)
+        assert len(result.accesses) == 32  # 4 procs x 8 reads
+
+    def test_windows_respected(self):
+        result = self.compile()
+        for a in result.accesses:
+            assert a.begin <= a.scheduled_slot <= max(a.end, a.original_slot)
+
+    def test_book_matches_accesses(self):
+        result = self.compile()
+        assert result.book.access_count() == len(result.accesses)
+        assert result.book.n_slots == result.trace.n_slots
+
+    def test_moves_happen_with_slack(self):
+        result = self.compile()
+        assert result.moved > 0
+        assert result.stats()["early_prefetches"] > 0
+
+    def test_granularity_flows_through(self):
+        fine = self.compile(granularity=1)
+        coarse = self.compile(granularity=2)
+        assert coarse.trace.n_slots == fine.trace.n_slots // 2
+
+    def test_trace_reuse(self):
+        program = sample_program()
+        smap = StripeMap(64 * KB, 8)
+        files = {
+            name: StripedFile(name, decl.size_bytes)
+            for name, decl in program.files.items()
+        }
+        first = compile_schedule(program, smap, files)
+        second = compile_schedule(program, smap, files, trace=first.trace)
+        assert second.trace is first.trace
+
+    def test_max_slack_bounds_windows(self):
+        result = self.compile(slack=SlackOptions(max_slack=3))
+        for a in result.accesses:
+            assert a.slack_length <= 4
+
+    def test_stats_fields(self):
+        stats = self.compile().stats()
+        for key in ("accesses", "moved", "early_prefetches", "mean_slack",
+                    "max_slack", "n_slots"):
+            assert key in stats
+
+    def test_deterministic_compilation(self):
+        r1 = self.compile(seed=5)
+        r2 = self.compile(seed=5)
+        assert [a.scheduled_slot for a in r1.accesses] == [
+            a.scheduled_slot for a in r2.accesses
+        ]

@@ -1,0 +1,142 @@
+"""Tests for the θ-constrained scheduler (§IV-B3)."""
+
+import pytest
+
+from repro.core import (
+    BasicScheduler,
+    DataAccess,
+    ExtendedScheduler,
+    ThetaConstrainedScheduler,
+    make_scheduler,
+    mean_excess,
+)
+from repro.core.basic import ScheduleState
+from repro.core.signature import signature_from_nodes
+
+
+def access(aid, process, begin, end, sig, length=1, original=None):
+    return DataAccess(
+        aid=aid,
+        process=process,
+        original_slot=end if original is None else original,
+        begin=begin,
+        end=end,
+        signature=sig,
+        length=length,
+    )
+
+
+class TestValidation:
+    def test_theta_must_be_positive(self):
+        with pytest.raises(ValueError):
+            ThetaConstrainedScheduler(BasicScheduler(4), theta=0)
+
+    def test_properties_delegate(self):
+        sched = ThetaConstrainedScheduler(BasicScheduler(8, delta=5), theta=2)
+        assert sched.n_nodes == 8
+        assert sched.delta == 5
+
+
+class TestConstraint:
+    def test_theta_limits_per_node_per_slot(self):
+        base = BasicScheduler(4, delta=2, seed=0)
+        sched = ThetaConstrainedScheduler(base, theta=2)
+        sig = signature_from_nodes([0], 4)
+        accesses = [access(i, i, 5, 5, sig) for i in range(2)]
+        # Two accesses fill node 0 at slot 5; a third must go elsewhere.
+        state = ScheduleState(n_nodes=4)
+        for a in accesses:
+            sched.place(a, state)
+        third = access(9, 9, 3, 7, sig)
+        slot = sched.place(third, state)
+        assert slot != 5
+
+    def test_overload_when_no_slot_satisfies(self):
+        base = BasicScheduler(4, delta=2, seed=0)
+        sched = ThetaConstrainedScheduler(base, theta=1)
+        sig = signature_from_nodes([0], 4)
+        state = ScheduleState(n_nodes=4)
+        sched.place(access(0, 0, 3, 3, sig), state)
+        # Window is only slot 3, already at θ: E_t fallback places anyway.
+        late = access(1, 1, 3, 3, sig)
+        assert sched.place(late, state) == 3
+        assert state.load_at(3)[0] == 2
+
+    def test_mean_excess_zero_when_under_theta(self):
+        state = ScheduleState(n_nodes=4)
+        a = access(0, 0, 0, 5, signature_from_nodes([1], 4))
+        assert mean_excess(a, 2, state, theta=2) == 0.0
+
+    def test_mean_excess_counts_overloaded_nodes(self):
+        state = ScheduleState(n_nodes=4)
+        sig = signature_from_nodes([0, 1], 4)
+        for i in range(2):
+            state.commit(access(i, i, 0, 5, sig), 2)
+        probe = access(9, 9, 0, 5, sig)
+        # Placing at slot 2 pushes both nodes to 3 against θ=2: excess 1.
+        assert mean_excess(probe, 2, state, theta=2) == pytest.approx(1.0)
+
+    def test_multislot_access_checks_every_covered_slot(self):
+        base = ExtendedScheduler(4, delta=2, seed=0)
+        sched = ThetaConstrainedScheduler(base, theta=1)
+        sig = signature_from_nodes([2], 4)
+        state = ScheduleState(n_nodes=4)
+        state.commit(access(0, 0, 0, 9, sig), 4)  # node 2 full at slot 4
+        probe = access(1, 1, 2, 9, sig, length=3)
+        slot = sched.place(probe, state)
+        # Any start in {2, 3, 4} would cover slot 4.
+        assert slot == 5
+
+    def test_paper_figure10_t5_eligible_with_theta2(self):
+        """§IV-B3's check: with the Table I signatures on 4 nodes, slot
+        t5 satisfies θ=2 for A2 at every iteration t5..t7."""
+        base = ExtendedScheduler(4, delta=2, seed=0)
+        sched = ThetaConstrainedScheduler(base, theta=2)
+        state = ScheduleState(n_nodes=4)
+        sigs = {1: 0b0110, 3: 0b0100, 4: 0b1000, 5: 0b1001}
+        state.commit(access(1, 1, 1, 14, sigs[1], length=12), 1)
+        state.commit(access(3, 3, 1, 14, sigs[3], length=4), 2)
+        state.commit(access(4, 4, 1, 14, sigs[4], length=6), 3)
+        state.commit(access(5, 5, 1, 14, sigs[5], length=6), 7)
+        a2 = access(2, 2, 3, 11, 0b0010, length=3)
+        assert sched._satisfies_theta(a2, 5, state)
+
+
+class TestFactory:
+    def test_make_scheduler_default_stack(self):
+        sched = make_scheduler(8)
+        assert isinstance(sched, ThetaConstrainedScheduler)
+        assert isinstance(sched.base, ExtendedScheduler)
+
+    def test_theta_none_returns_bare(self):
+        sched = make_scheduler(8, theta=None)
+        assert isinstance(sched, ExtendedScheduler)
+
+    def test_extended_false(self):
+        sched = make_scheduler(8, theta=None, extended=False)
+        assert type(sched) is BasicScheduler
+
+    def test_schedule_respects_windows_end_to_end(self):
+        sched = make_scheduler(8, delta=4, theta=2, seed=1)
+        accesses = [
+            access(i, i % 4, 2, 18, signature_from_nodes([i % 8], 8),
+                   length=1 + i % 3)
+            for i in range(16)
+        ]
+        sched.schedule(accesses)
+        for a in accesses:
+            assert a.scheduled_slot >= a.begin
+
+    def test_theta_spreads_compared_to_unconstrained(self):
+        sig = signature_from_nodes([0, 1], 8)
+
+        def max_load(theta):
+            sched = make_scheduler(8, delta=4, theta=theta, seed=0)
+            accesses = [access(i, i, 0, 20, sig) for i in range(12)]
+            state = sched.schedule(accesses)
+            return max(
+                max(state.load_at(s)) for s in range(21)
+            )
+
+        assert max_load(2) <= 2
+        assert max_load(None) > 2

@@ -1,0 +1,108 @@
+"""Tests for access signatures and the distance metric (§IV-B)."""
+
+import pytest
+
+from repro.core import (
+    ZERO_DISTANCE_INVERSE,
+    difference,
+    distance,
+    group_signature,
+    inverse_distance,
+    signature_bits,
+    signature_from_nodes,
+    similarity,
+)
+
+
+class TestBasics:
+    def test_similarity_counts_shared_nodes(self):
+        assert similarity(0b1010, 0b1100) == 1
+        assert similarity(0b1010, 0b1010) == 2
+        assert similarity(0b1010, 0b0101) == 0
+
+    def test_difference_counts_differing_bits(self):
+        assert difference(0b1010, 0b1100) == 2
+        assert difference(0b1010, 0b1010) == 0
+        assert difference(0b1010, 0b0101) == 4
+
+    def test_distance_formula(self):
+        n = 8
+        g1, g2 = 0b1010, 0b1100
+        assert distance(g1, g2, n) == n - 1 + 2
+
+    def test_identical_signatures_have_minimal_distance(self):
+        n = 16
+        g = 0b101
+        assert distance(g, g, n) == n - 2
+
+    def test_disjoint_signatures(self):
+        """If the number of different bits is n, the accesses touch
+        disjoint node sets (paper: complementary signatures)."""
+        n = 4
+        g1, g2 = 0b0011, 0b1100
+        assert difference(g1, g2) == n
+        assert distance(g1, g2, n) == n + n
+
+    def test_distance_symmetric(self):
+        assert distance(0b0110, 0b1010, 8) == distance(0b1010, 0b0110, 8)
+
+    def test_inverse_distance_special_case(self):
+        # distance can be 0 only when both signatures cover every node.
+        n = 3
+        full = 0b111
+        assert distance(full, full, n) == 0
+        assert inverse_distance(full, full, n) == ZERO_DISTANCE_INVERSE
+
+    def test_inverse_distance_regular(self):
+        assert inverse_distance(0b01, 0b10, 2) == pytest.approx(1 / 4)
+
+
+class TestGroupSignature:
+    def test_or_of_signatures(self):
+        assert group_signature([0b001, 0b010, 0b010]) == 0b011
+
+    def test_empty_group(self):
+        assert group_signature([]) == 0
+
+
+class TestConversions:
+    def test_signature_bits_order(self):
+        # Bit i corresponds to I/O node i: eta_0 first.
+        assert signature_bits(0b0101, 4) == [1, 0, 1, 0]
+
+    def test_signature_from_nodes(self):
+        assert signature_from_nodes([0, 2], 4) == 0b0101
+
+    def test_signature_from_nodes_bounds(self):
+        with pytest.raises(ValueError):
+            signature_from_nodes([4], 4)
+        with pytest.raises(ValueError):
+            signature_from_nodes([-1], 4)
+
+    def test_roundtrip(self):
+        sig = signature_from_nodes([1, 9], 16)
+        bits = signature_bits(sig, 16)
+        assert [i for i, b in enumerate(bits) if b] == [1, 9]
+
+
+class TestPaperFigure9:
+    """The signatures of Figure 9 (16 I/O nodes)."""
+
+    # A4 touches nodes 1 and 9; A6 touches 1, 2, 9, 10; A7 touches 0, 8.
+    G4 = signature_from_nodes([1, 9], 16)
+    G6 = signature_from_nodes([1, 2, 9, 10], 16)
+    G7 = signature_from_nodes([0, 8], 16)
+
+    def test_a4_subset_of_a6(self):
+        assert similarity(self.G4, self.G6) == 2
+        assert difference(self.G4, self.G6) == 2
+        assert distance(self.G4, self.G6, 16) == 16
+
+    def test_a4_disjoint_from_a7(self):
+        assert similarity(self.G4, self.G7) == 0
+        assert distance(self.G4, self.G7, 16) == 16 + 4
+
+    def test_same_signature_accesses(self):
+        # A2, A4, A9, A10 share the same signature in Figure 9.
+        a2 = signature_from_nodes([1, 9], 16)
+        assert distance(a2, self.G4, 16) == 14

@@ -1,0 +1,154 @@
+"""Tests for disk specifications (Table II values, DRPM ladder, powers)."""
+
+import pytest
+
+from repro.disk import TABLE2_DISK, DiskSpec, table2_multispeed_spec
+
+
+class TestTable2Values:
+    def test_power_values_match_table2(self):
+        spec = TABLE2_DISK
+        assert spec.idle_power == 17.1
+        assert spec.active_power == 36.6
+        assert spec.seek_power == 32.1
+        assert spec.standby_power == 7.2
+        assert spec.spin_up_power == 44.8
+
+    def test_transition_times_match_table2(self):
+        assert TABLE2_DISK.spin_up_time == 16.0
+        assert TABLE2_DISK.spin_down_time == 10.0
+
+    def test_capacity_100gb(self):
+        assert TABLE2_DISK.capacity_bytes == 100 * 2**30
+
+    def test_single_speed_by_default(self):
+        assert not TABLE2_DISK.is_multispeed
+        assert TABLE2_DISK.rpm_levels == (12_000,)
+
+    def test_multispeed_ladder_matches_table2(self):
+        spec = table2_multispeed_spec()
+        assert spec.is_multispeed
+        assert spec.rpm_levels == (
+            12_000, 10_800, 9_600, 8_400, 7_200, 6_000, 4_800, 3_600
+        )
+
+
+class TestValidation:
+    def test_min_rpm_above_max_rejected(self):
+        with pytest.raises(ValueError):
+            DiskSpec(min_rpm=13_000)
+
+    def test_non_divisible_rpm_range_rejected(self):
+        with pytest.raises(ValueError):
+            DiskSpec(min_rpm=3_600, rpm_step=1_000)
+
+    def test_zero_step_rejected(self):
+        with pytest.raises(ValueError):
+            DiskSpec(rpm_step=0)
+
+
+class TestQuadraticPowerModel:
+    """Eq. 1: motor power scales with the square of angular velocity."""
+
+    def test_scale_at_max_is_one(self):
+        assert TABLE2_DISK.rpm_scale(12_000) == 1.0
+
+    def test_scale_quadratic(self):
+        assert TABLE2_DISK.rpm_scale(6_000) == pytest.approx(0.25)
+        assert TABLE2_DISK.rpm_scale(3_600) == pytest.approx(0.09)
+
+    def test_idle_power_at_min_speed(self):
+        spec = table2_multispeed_spec()
+        assert spec.idle_power_at(3_600) == pytest.approx(17.1 * 0.09)
+
+    def test_active_power_keeps_electronics_fixed(self):
+        spec = table2_multispeed_spec()
+        electronics = 36.6 - 17.1
+        assert spec.active_power_at(3_600) == pytest.approx(
+            17.1 * 0.09 + electronics
+        )
+
+    def test_power_monotone_in_rpm(self):
+        spec = table2_multispeed_spec()
+        powers = [spec.idle_power_at(r) for r in spec.rpm_levels]
+        assert powers == sorted(powers, reverse=True)
+
+    def test_rpm_change_power_up_exceeds_down(self):
+        spec = table2_multispeed_spec()
+        up = spec.rpm_change_power(10_800, 12_000)
+        down = spec.rpm_change_power(12_000, 10_800)
+        assert up > down
+
+    def test_rpm_change_time_linear_in_steps(self):
+        spec = table2_multispeed_spec()
+        one = spec.rpm_change_time(12_000, 10_800)
+        full = spec.rpm_change_time(12_000, 3_600)
+        assert full == pytest.approx(7 * one)
+
+
+class TestTiming:
+    def test_rotation_time_at_12000(self):
+        assert TABLE2_DISK.rotation_time() == pytest.approx(0.005)
+
+    def test_rotational_latency_is_half_rotation(self):
+        assert TABLE2_DISK.avg_rotational_latency() == pytest.approx(0.0025)
+
+    def test_latency_grows_at_lower_speed(self):
+        spec = table2_multispeed_spec()
+        assert spec.avg_rotational_latency(3_600) == pytest.approx(
+            spec.avg_rotational_latency(12_000) * (12_000 / 3_600)
+        )
+
+    def test_transfer_rate_linear_in_rpm(self):
+        spec = table2_multispeed_spec()
+        assert spec.transfer_rate(6_000) == pytest.approx(
+            spec.transfer_rate(12_000) / 2
+        )
+
+    def test_transfer_time_bus_capped(self):
+        # A transfer can never beat the bus.
+        spec = DiskSpec(internal_transfer_mbps=1000.0, bus_bandwidth_mbps=160.0)
+        t = spec.transfer_time(16 * 2**20)
+        assert t == pytest.approx(16 * 2**20 / (160 * 1e6))
+
+    def test_seek_time_zero_for_zero_distance(self):
+        assert TABLE2_DISK.seek_time(0.0) == 0.0
+
+    def test_seek_time_monotone(self):
+        ds = [0.01, 0.1, 0.3, 0.5, 0.8, 1.0]
+        times = [TABLE2_DISK.seek_time(d) for d in ds]
+        assert times == sorted(times)
+
+    def test_full_stroke_equals_max(self):
+        assert TABLE2_DISK.seek_time(1.0) == pytest.approx(
+            TABLE2_DISK.max_seek_time
+        )
+
+    def test_seek_beyond_full_clamped(self):
+        assert TABLE2_DISK.seek_time(2.0) == TABLE2_DISK.seek_time(1.0)
+
+
+class TestBreakeven:
+    def test_breakeven_exceeds_transition_time(self):
+        be = TABLE2_DISK.breakeven_idle_seconds()
+        assert be > TABLE2_DISK.spin_up_time + TABLE2_DISK.spin_down_time
+
+    def test_breakeven_balances_energy(self):
+        spec = TABLE2_DISK
+        be = spec.breakeven_idle_seconds()
+        idle_energy = spec.idle_power * be
+        cycle = (
+            spec.spin_down_energy
+            + spec.spin_up_energy
+            + spec.standby_power * (be - spec.spin_down_time - spec.spin_up_time)
+        )
+        assert idle_energy == pytest.approx(cycle)
+
+    def test_breakeven_infinite_when_standby_not_cheaper(self):
+        spec = DiskSpec(standby_power=17.1)
+        assert spec.breakeven_idle_seconds() == float("inf")
+
+    def test_with_multispeed_copies(self):
+        spec = TABLE2_DISK.with_multispeed()
+        assert spec.is_multispeed
+        assert TABLE2_DISK.min_rpm == 12_000  # original untouched

@@ -1,0 +1,132 @@
+"""Cross-cutting integration invariants on full simulated runs."""
+
+import pytest
+
+from repro.disk import states as st
+from repro.experiments import ExperimentConfig, Runner
+from repro.ir import trace_program
+from repro.power import make_policy
+from repro.runtime import Session, SessionConfig
+from repro.workloads import get_workload
+
+from conftest import fast_spec
+
+TINY = ExperimentConfig(workload_scale=0.05)
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return Runner(TINY)
+
+
+class TestTimelineSanity:
+    @pytest.mark.parametrize("policy", ["simple", "prediction", "history",
+                                        "staggered"])
+    def test_drive_timelines_well_formed(self, runner, policy):
+        run = runner.run("sar", policy, False)
+        # Reconstruct via a fresh session to inspect the drives directly.
+        cfg = TINY
+        trace = runner.trace("sar")
+        session = Session(
+            trace,
+            cfg.disk_spec(policy in ("history", "staggered")),
+            lambda: make_policy(policy) if policy != "simple"
+            else make_policy("simple", timeout=cfg.simple_timeout),
+            cfg.session_config(),
+        )
+        outcome = session.run()
+        for drive in outcome.drives:
+            intervals = list(drive.timeline.intervals())
+            for prev, cur in zip(intervals, intervals[1:]):
+                # Contiguous, non-overlapping, monotone.
+                assert cur.start == pytest.approx(prev.end)
+                assert cur.duration >= 0
+            for iv in intervals:
+                # Service states never appear while in standby-family RPM 0.
+                if st.base_state(iv.state) in (st.ACTIVE_READ,
+                                               st.ACTIVE_WRITE, st.SEEK):
+                    assert st.parse_rpm(iv.state, 12000) > 0
+
+    def test_energy_never_negative(self, runner):
+        for policy in ("default", "simple", "history"):
+            run = runner.run("hf", policy, False)
+            assert run.energy_joules > 0
+            assert all(v >= -1e-9 for v in run.energy_breakdown.values())
+
+
+class TestDeterminism:
+    def test_identical_runs_identical_results(self):
+        a = Runner(TINY).run("apsi", "history", True)
+        b = Runner(TINY).run("apsi", "history", True)
+        assert a.energy_joules == pytest.approx(b.energy_joules)
+        assert a.execution_time == pytest.approx(b.execution_time)
+        assert a.idle_cdf.count == b.idle_cdf.count
+
+    def test_seed_changes_random_tiebreak_schedule_only(self):
+        from repro.core import CompilerOptions, SlackOptions, compile_schedule
+        from repro.storage import StripedFile, StripeMap
+
+        program = get_workload("madbench2").build(4, 0.05)
+        trace = trace_program(program)
+        smap = StripeMap(64 * 1024, 8)
+        files = {
+            n: StripedFile(n, d.size_bytes)
+            for n, d in trace.program.files.items()
+        }
+
+        def slots(seed):
+            result = compile_schedule(
+                program, smap, files,
+                CompilerOptions(tie_break="random", seed=seed,
+                                slack=SlackOptions(max_slack=50)),
+                trace=trace,
+            )
+            return [a.scheduled_slot for a in result.accesses]
+
+        assert slots(1) == slots(1)
+        assert slots(2) == slots(2)
+        # (Different seeds may or may not shuffle ties — equality across
+        # seeds is legitimate when no scored tie reaches the RNG.)
+
+
+class TestGranularityEndToEnd:
+    def test_coarse_granularity_session_completes(self):
+        cfg = ExperimentConfig(workload_scale=0.05, granularity=4,
+                               delta=5, max_slack=50)
+        runner = Runner(cfg)
+        base = runner.baseline("hf")
+        run = runner.run("hf", "default", True)
+        assert run.prefetches > 0
+        # Coarse slots change scheduling resolution, not correctness:
+        # every prefetch is still consumed.
+        assert run.buffer_hits == run.prefetches
+        assert run.execution_time == pytest.approx(
+            base.execution_time, rel=0.1
+        )
+
+
+class TestConservation:
+    def test_bytes_read_conserved_through_stack(self):
+        """Client-level read bytes equal MPI-IO read bytes (no request is
+        lost or duplicated on the way to the storage stack)."""
+        cfg = SessionConfig(n_ionodes=4, stripe_size=64 * 1024)
+        trace = trace_program(get_workload("sar").build(4, 0.05))
+        session = Session(trace, fast_spec(), None, cfg)
+        outcome = session.run()
+        expected = sum(
+            io.blocks * trace.program.files[io.file].block_bytes
+            for p in trace.processes
+            for io in p.ios
+            if not io.is_write
+        )
+        assert outcome.mpi_io.stats.bytes_read == expected
+
+    def test_all_written_bytes_destaged(self):
+        cfg = SessionConfig(n_ionodes=4, stripe_size=64 * 1024)
+        trace = trace_program(get_workload("sar").build(4, 0.05))
+        session = Session(trace, fast_spec(), None, cfg)
+        outcome = session.run()
+        session.pfs.finalize(session.sim.now)
+        session.sim.run()
+        for node in session.pfs.nodes:
+            assert node.cache.dirty_blocks() == []

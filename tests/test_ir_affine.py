@@ -1,0 +1,108 @@
+"""Tests for affine expressions."""
+
+import pytest
+
+from repro.ir import Affine, as_affine, const, var
+
+
+class TestConstruction:
+    def test_var(self):
+        x = var("i")
+        assert x.coefficient("i") == 1
+        assert x.constant == 0
+
+    def test_const(self):
+        c = const(5)
+        assert c.is_constant
+        assert c.constant == 5
+
+    def test_zero_coefficients_dropped(self):
+        e = Affine({"i": 0, "j": 2}, 1)
+        assert e.variables == frozenset({"j"})
+
+    def test_as_affine_int(self):
+        assert as_affine(7) == const(7)
+
+    def test_as_affine_passthrough(self):
+        x = var("i")
+        assert as_affine(x) is x
+
+    def test_as_affine_rejects_other(self):
+        with pytest.raises(TypeError):
+            as_affine(3.14)
+
+    def test_immutability(self):
+        x = var("i")
+        with pytest.raises(AttributeError):
+            x.constant = 5
+
+
+class TestAlgebra:
+    def test_add_vars(self):
+        e = var("i") + var("j")
+        assert e.coefficient("i") == 1
+        assert e.coefficient("j") == 1
+
+    def test_add_int(self):
+        e = var("i") + 3
+        assert e.constant == 3
+
+    def test_radd(self):
+        e = 3 + var("i")
+        assert e.constant == 3
+
+    def test_sub(self):
+        e = var("i") - var("i")
+        assert e.is_constant
+        assert e.constant == 0
+
+    def test_rsub(self):
+        e = 10 - var("i")
+        assert e.coefficient("i") == -1
+        assert e.constant == 10
+
+    def test_mul(self):
+        e = (var("i") + 2) * 3
+        assert e.coefficient("i") == 3
+        assert e.constant == 6
+
+    def test_rmul(self):
+        e = 4 * var("i")
+        assert e.coefficient("i") == 4
+
+    def test_mul_non_int_rejected(self):
+        with pytest.raises(TypeError):
+            var("i") * 1.5
+
+    def test_neg(self):
+        e = -(var("i") + 1)
+        assert e.coefficient("i") == -1
+        assert e.constant == -1
+
+
+class TestEvaluation:
+    def test_evaluate(self):
+        e = var("i") * 3 + var("j") + 7
+        assert e.evaluate({"i": 2, "j": 5}) == 18
+
+    def test_missing_binding_raises(self):
+        with pytest.raises(KeyError):
+            var("i").evaluate({})
+
+    def test_extra_bindings_ignored(self):
+        assert const(4).evaluate({"x": 1}) == 4
+
+    def test_substitute_partial(self):
+        e = var("i") + var("j") * 2
+        partial = e.substitute({"i": 10})
+        assert partial.constant == 10
+        assert partial.variables == frozenset({"j"})
+        assert partial.evaluate({"j": 3}) == 16
+
+    def test_equality_and_hash(self):
+        assert var("i") + 1 == var("i") + 1
+        assert hash(var("i") + 1) == hash(var("i") + 1)
+        assert var("i") != var("j")
+
+    def test_repr_readable(self):
+        assert "i" in repr(var("i") * 2 + 1)

@@ -1,0 +1,131 @@
+"""Tests for the profiling executor (trace_program)."""
+
+import pytest
+
+from repro.ir import (
+    Compute,
+    FileDecl,
+    Loop,
+    Program,
+    Read,
+    Write,
+    trace_program,
+    var,
+)
+
+
+def program(n_processes=2, phases=4):
+    files = {
+        "in": FileDecl("in", n_processes * phases, 1024),
+        "out": FileDecl("out", n_processes * phases, 1024),
+    }
+    body = [
+        Loop("i", 0, phases - 1, body=[
+            Read("in", var("p") * phases + var("i")),
+            Compute(0.5),
+            Write("out", var("p") * phases + var("i")),
+            Compute(0.25),
+        ]),
+    ]
+    return Program("t", n_processes, files, body)
+
+
+class TestSlotSemantics:
+    def test_slots_count_compute_steps(self):
+        trace = trace_program(program(n_processes=1, phases=4))
+        assert trace.processes[0].n_slots == 8  # 2 computes x 4 phases
+
+    def test_io_lands_in_current_slot(self):
+        trace = trace_program(program(n_processes=1, phases=2))
+        ios = trace.processes[0].ios
+        # Read of phase 0 at slot 0; write of phase 0 after 1 compute -> slot 1.
+        assert (ios[0].is_write, ios[0].slot) == (False, 0)
+        assert (ios[1].is_write, ios[1].slot) == (True, 1)
+        # Phase 1 starts at slot 2.
+        assert ios[2].slot == 2
+
+    def test_slot_costs_sum_to_total_compute(self):
+        trace = trace_program(program(n_processes=1, phases=4))
+        assert trace.processes[0].total_compute == pytest.approx(4 * 0.75)
+
+    def test_granularity_merges_slots(self):
+        fine = trace_program(program(n_processes=1, phases=4), granularity=1)
+        coarse = trace_program(program(n_processes=1, phases=4), granularity=2)
+        assert coarse.processes[0].n_slots == fine.processes[0].n_slots // 2
+        assert coarse.processes[0].total_compute == pytest.approx(
+            fine.processes[0].total_compute
+        )
+
+    def test_granularity_rescales_io_slots(self):
+        coarse = trace_program(program(n_processes=1, phases=4), granularity=2)
+        ios = coarse.processes[0].ios
+        # Phase 0 read (step 0) and write (step 1) now share slot 0.
+        assert ios[0].slot == 0
+        assert ios[1].slot == 0
+
+    def test_bad_granularity(self):
+        with pytest.raises(ValueError):
+            trace_program(program(), granularity=0)
+
+    def test_trailing_io_gets_a_slot(self):
+        files = {"f": FileDecl("f", 4, 1024)}
+        prog = Program("t", 1, files, [Compute(1.0), Write("f", 0)])
+        trace = trace_program(prog)
+        assert trace.processes[0].n_slots == 2
+        assert trace.processes[0].ios[0].slot == 1
+
+
+class TestPerProcess:
+    def test_every_process_traced(self):
+        trace = trace_program(program(n_processes=3))
+        assert [p.process for p in trace.processes] == [0, 1, 2]
+
+    def test_p_binding_differs(self):
+        trace = trace_program(program(n_processes=2, phases=2))
+        blocks0 = [io.block for io in trace.processes[0].ios if not io.is_write]
+        blocks1 = [io.block for io in trace.processes[1].ios if not io.is_write]
+        assert blocks0 == [0, 1]
+        assert blocks1 == [2, 3]
+
+    def test_n_slots_is_global_max(self):
+        files = {"f": FileDecl("f", 8, 1024)}
+        body = [Loop("i", 0, var("p"), body=[Compute(1.0)])]
+        prog = Program("skew", 3, files, body)
+        trace = trace_program(prog)
+        assert trace.n_slots == 3  # process 2 runs 3 steps
+
+
+class TestTables:
+    def test_all_ios_sorted(self):
+        trace = trace_program(program(n_processes=2))
+        ios = trace.all_ios()
+        keys = [(io.slot, io.process, io.seq) for io in ios]
+        assert keys == sorted(keys)
+
+    def test_reads_writes_partition(self):
+        trace = trace_program(program(n_processes=2, phases=3))
+        assert len(trace.reads()) == 6
+        assert len(trace.writes()) == 6
+
+    def test_last_writer_table_sorted_per_block(self):
+        files = {"f": FileDecl("f", 2, 1024)}
+        body = [Loop("i", 0, 3, body=[Write("f", 0), Compute(1.0)])]
+        prog = Program("w", 1, files, body)
+        table = trace_program(prog).last_writer_table()
+        slots = [s for s, _p in table[("f", 0)]]
+        assert slots == sorted(slots)
+        assert len(slots) == 4
+
+    def test_multiblock_io_registers_every_block(self):
+        files = {"f": FileDecl("f", 8, 1024)}
+        prog = Program("m", 1, files, [Write("f", 2, blocks=3)])
+        table = trace_program(prog).last_writer_table()
+        assert set(table) == {("f", 2), ("f", 3), ("f", 4)}
+
+    def test_block_keys(self):
+        trace = trace_program(
+            Program("m", 1, {"f": FileDecl("f", 8, 1024)},
+                    [Read("f", 1, blocks=2)])
+        )
+        io = trace.processes[0].ios[0]
+        assert list(io.block_keys()) == [("f", 1), ("f", 2)]

@@ -1,0 +1,152 @@
+"""Tests for the loop-nest program IR."""
+
+import pytest
+
+from repro.ir import Compute, FileDecl, Loop, Program, Read, Write, var
+
+
+def simple_program(n_processes=2, phases=3):
+    files = {"data": FileDecl("data", n_processes * phases, 1024)}
+    body = [
+        Loop("i", 0, phases - 1, body=[
+            Read("data", var("p") * phases + var("i")),
+            Compute(1.0),
+        ]),
+    ]
+    return Program("simple", n_processes, files, body)
+
+
+class TestFileDecl:
+    def test_size(self):
+        f = FileDecl("f", 10, 1024)
+        assert f.size_bytes == 10 * 1024
+
+    def test_bad_geometry(self):
+        with pytest.raises(ValueError):
+            FileDecl("f", 0, 1024)
+        with pytest.raises(ValueError):
+            FileDecl("f", 10, 0)
+
+
+class TestOps:
+    def test_read_coerces_int_block(self):
+        r = Read("f", 3)
+        assert r.block_at({}) == 3
+        assert r.is_affine
+
+    def test_read_affine_block(self):
+        r = Read("f", var("i") * 2)
+        assert r.block_at({"i": 4}) == 8
+
+    def test_callable_block_is_non_affine(self):
+        r = Read("f", lambda env: env["i"] % 7)
+        assert not r.is_affine
+        assert r.block_at({"i": 9}) == 2
+
+    def test_blocks_must_be_positive(self):
+        with pytest.raises(ValueError):
+            Read("f", 0, blocks=0)
+        with pytest.raises(ValueError):
+            Write("f", 0, blocks=-1)
+
+    def test_compute_constant_cost(self):
+        c = Compute(2.5)
+        assert c.cost_at({}) == 2.5
+        assert c.is_affine
+
+    def test_compute_callable_cost(self):
+        c = Compute(lambda env: env["i"] * 0.5)
+        assert c.cost_at({"i": 4}) == 2.0
+        assert not c.is_affine
+
+
+class TestLoop:
+    def test_inclusive_bounds(self):
+        loop = Loop("i", 1, 3)
+        assert list(loop.iter_range({})) == [1, 2, 3]
+
+    def test_step(self):
+        loop = Loop("i", 0, 10, step=5)
+        assert list(loop.iter_range({})) == [0, 5, 10]
+
+    def test_negative_step(self):
+        loop = Loop("i", 3, 1, step=-1)
+        assert list(loop.iter_range({})) == [3, 2, 1]
+
+    def test_zero_step_rejected(self):
+        with pytest.raises(ValueError):
+            Loop("i", 0, 1, step=0)
+
+    def test_affine_bounds(self):
+        loop = Loop("i", var("p"), var("p") + 2)
+        assert list(loop.iter_range({"p": 5})) == [5, 6, 7]
+
+    def test_empty_range(self):
+        loop = Loop("i", 5, 3)
+        assert list(loop.iter_range({})) == []
+
+
+class TestProgramValidation:
+    def test_valid_program_builds(self):
+        assert simple_program().name == "simple"
+
+    def test_needs_a_process(self):
+        with pytest.raises(ValueError):
+            Program("p", 0, {}, [])
+
+    def test_undeclared_file_rejected(self):
+        with pytest.raises(ValueError):
+            Program("p", 1, {}, [Read("ghost", 0)])
+
+    def test_unbound_subscript_variable_rejected(self):
+        files = {"f": FileDecl("f", 10, 1024)}
+        with pytest.raises(ValueError):
+            Program("p", 1, files, [Read("f", var("i"))])
+
+    def test_unbound_loop_bound_rejected(self):
+        files = {"f": FileDecl("f", 10, 1024)}
+        with pytest.raises(ValueError):
+            Program("p", 1, files, [Loop("i", 0, var("n"), body=[])])
+
+    def test_params_bind_symbols(self):
+        files = {"f": FileDecl("f", 10, 1024)}
+        prog = Program(
+            "p", 1, files,
+            [Loop("i", 0, var("n") - 1, body=[Read("f", var("i"))])],
+            params={"n": 5},
+        )
+        assert prog.params["n"] == 5
+
+    def test_p_is_always_bound(self):
+        files = {"f": FileDecl("f", 10, 1024)}
+        Program("p", 2, files, [Read("f", var("p"))])
+
+    def test_unknown_statement_rejected(self):
+        with pytest.raises(TypeError):
+            Program("p", 1, {}, ["not a statement"])
+
+
+class TestAffinity:
+    def test_affine_program(self):
+        assert simple_program().is_affine
+
+    def test_callable_subscript_makes_non_affine(self):
+        files = {"f": FileDecl("f", 10, 1024)}
+        prog = Program("p", 1, files, [Read("f", lambda env: 0)])
+        assert not prog.is_affine
+
+    def test_callable_compute_cost_stays_affine(self):
+        """Costs don't affect dependences, so jittered compute keeps the
+        polyhedral path available (§IV-A applies to subscripts)."""
+        files = {"f": FileDecl("f", 10, 1024)}
+        prog = Program(
+            "p", 1, files,
+            [Read("f", 0), Compute(lambda env: 0.5)],
+        )
+        assert prog.is_affine
+
+    def test_io_ops_enumeration(self):
+        prog = simple_program()
+        ops = prog.io_ops()
+        assert len(ops) == 1
+        assert isinstance(ops[0], Read)

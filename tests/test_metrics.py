@@ -1,0 +1,159 @@
+"""Tests for the metrics layer."""
+
+import pytest
+
+from repro.disk import DiskRequest
+from repro.metrics import (
+    EnergyComparison,
+    PAPER_BUCKETS_MS,
+    PerfComparison,
+    breakdown_until,
+    clip_periods,
+    degradation,
+    energy_until,
+    fleet_energy,
+    format_percent,
+    format_series,
+    format_table,
+    idle_cdf,
+    idle_periods_until,
+    improvement,
+)
+
+from conftest import fast_spec, make_drive, submit_read
+
+
+class TestIdleCDF:
+    def test_paper_buckets(self):
+        assert PAPER_BUCKETS_MS[0] == 5
+        assert PAPER_BUCKETS_MS[-1] == 50_000
+
+    def test_empty_lengths(self):
+        cdf = idle_cdf([])
+        assert cdf.count == 0
+        assert all(f == 0.0 for f in cdf.cumulative)
+
+    def test_cumulative_fraction(self):
+        # 4 periods: 3ms, 30ms, 300ms, 30s.
+        cdf = idle_cdf([0.003, 0.030, 0.300, 30.0])
+        assert cdf.fraction_at_most(5) == 0.25
+        assert cdf.fraction_at_most(50) == 0.5
+        assert cdf.fraction_at_most(500) == 0.75
+        assert cdf.fraction_at_most(30_000) == 1.0
+
+    def test_cumulative_monotone(self):
+        cdf = idle_cdf([0.001 * (2 ** i) for i in range(16)])
+        assert list(cdf.cumulative) == sorted(cdf.cumulative)
+
+    def test_mean_and_total(self):
+        cdf = idle_cdf([1.0, 3.0])
+        assert cdf.total_idle_seconds == 4.0
+        assert cdf.mean_seconds == 2.0
+
+    def test_rows_include_open_bucket(self):
+        cdf = idle_cdf([0.001])
+        rows = cdf.rows()
+        assert rows[-1] == ("50000+", 1.0)
+
+    def test_boundary_is_inclusive(self):
+        cdf = idle_cdf([0.005])
+        assert cdf.fraction_at_most(5) == 1.0
+
+    def test_clip_periods(self):
+        periods = [(0.0, 2.0), (5.0, 9.0), (12.0, 20.0)]
+        assert clip_periods(periods, 10.0) == [2.0, 4.0]
+
+
+class TestEnergyClipping:
+    def test_energy_until_clips_horizon(self, sim):
+        drive = make_drive(sim)
+        submit_read(sim, drive, 0.0)
+        sim.run()
+        drive.finalize()
+        full = energy_until(drive, sim.now)
+        half = energy_until(drive, sim.now / 2)
+        assert 0 < half < full
+
+    def test_energy_until_matches_manual_idle_integral(self, sim):
+        drive = make_drive(sim)
+        sim.run(until=10.0)
+        drive.finalize()
+        assert energy_until(drive, 10.0) == pytest.approx(
+            10.0 * drive.spec.idle_power
+        )
+
+    def test_breakdown_families_sum_to_total(self, sim):
+        drive = make_drive(sim)
+        submit_read(sim, drive, 0.0)
+        sim.schedule(1.0, drive.spin_down)
+        submit_read(sim, drive, 30.0)
+        sim.run()
+        drive.finalize()
+        horizon = sim.now
+        breakdown = breakdown_until(drive, horizon)
+        assert breakdown.total == pytest.approx(energy_until(drive, horizon))
+        assert breakdown.standby > 0
+        assert breakdown.spin_up > 0
+
+    def test_fleet_energy_sums(self, sim):
+        drives = [make_drive(sim) for _ in range(3)]
+        sim.run(until=5.0)
+        for d in drives:
+            d.finalize()
+        assert fleet_energy(drives, 5.0) == pytest.approx(
+            3 * 5.0 * drives[0].spec.idle_power
+        )
+
+    def test_idle_periods_until_clips(self, sim):
+        drive = make_drive(sim)
+        submit_read(sim, drive, 0.0)
+        submit_read(sim, drive, 10.0)
+        sim.run()
+        drive.finalize()
+        clipped = idle_periods_until(drive, 5.0)
+        assert all(p <= 5.0 for p in clipped)
+
+
+class TestComparisons:
+    def test_energy_comparison(self):
+        cmp = EnergyComparison("simple", 80.0, 100.0)
+        assert cmp.normalized == pytest.approx(0.8)
+        assert cmp.reduction == pytest.approx(0.2)
+
+    def test_energy_comparison_zero_baseline(self):
+        assert EnergyComparison("x", 5.0, 0.0).normalized == 1.0
+
+    def test_degradation(self):
+        assert degradation(110.0, 100.0) == pytest.approx(0.1)
+
+    def test_degradation_bad_baseline(self):
+        with pytest.raises(ValueError):
+            degradation(1.0, 0.0)
+
+    def test_improvement(self):
+        assert improvement(80.0, 100.0) == pytest.approx(0.25)
+
+    def test_improvement_bad_time(self):
+        with pytest.raises(ValueError):
+            improvement(0.0, 1.0)
+
+    def test_perf_comparison(self):
+        cmp = PerfComparison("simple", 120.0, 100.0)
+        assert cmp.degradation == pytest.approx(0.2)
+
+
+class TestFormatting:
+    def test_format_percent(self):
+        assert format_percent(0.1234) == "12.3%"
+        assert format_percent(0.1234, 0) == "12%"
+
+    def test_format_table_aligns(self):
+        text = format_table(("a", "bbbb"), [("x", 1), ("yyyy", 22)], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bbbb" in lines[1]
+        assert len(lines) == 5
+
+    def test_format_series(self):
+        s = format_series("hist", [2, 4], [0.5, 0.25])
+        assert s == "hist: 2=0.500, 4=0.250"

@@ -1,0 +1,70 @@
+"""Tests for the interconnect model."""
+
+import pytest
+
+from repro.net import Link, Network
+
+
+class TestLink:
+    def test_transfer_time_formula(self, sim):
+        link = Link(sim, latency=0.001, bandwidth_bps=1e9)
+        assert link.transfer_time(1e9) == pytest.approx(1.001)
+
+    def test_transfer_completes_after_latency_and_service(self, sim):
+        link = Link(sim, latency=0.5, bandwidth_bps=1000.0)
+        done = []
+        link.transfer(1000, lambda: done.append(sim.now))
+        sim.run()
+        assert done == [pytest.approx(1.5)]
+
+    def test_fifo_serialization(self, sim):
+        link = Link(sim, latency=0.0, bandwidth_bps=1000.0)
+        done = []
+        link.transfer(1000, lambda: done.append(("a", sim.now)))
+        link.transfer(1000, lambda: done.append(("b", sim.now)))
+        sim.run()
+        assert done == [("a", pytest.approx(1.0)), ("b", pytest.approx(2.0))]
+
+    def test_queue_delay_tracked(self, sim):
+        link = Link(sim, latency=0.0, bandwidth_bps=1000.0)
+        link.transfer(1000, lambda: None)
+        link.transfer(1000, lambda: None)
+        sim.run()
+        assert link.stats.total_queue_delay == pytest.approx(1.0)
+
+    def test_idle_link_has_no_queue_delay(self, sim):
+        link = Link(sim, latency=0.0, bandwidth_bps=1000.0)
+        link.transfer(500, lambda: None)
+        sim.run()
+        link.transfer(500, lambda: None)
+        sim.run()
+        assert link.stats.total_queue_delay == 0.0
+
+    def test_validation(self, sim):
+        with pytest.raises(ValueError):
+            Link(sim, latency=-1, bandwidth_bps=1e9)
+        with pytest.raises(ValueError):
+            Link(sim, latency=0, bandwidth_bps=0)
+        link = Link(sim, latency=0, bandwidth_bps=1e9)
+        with pytest.raises(ValueError):
+            link.transfer(-1, lambda: None)
+
+
+class TestNetwork:
+    def test_per_node_links_independent(self, sim):
+        net = Network(sim, 2, latency=0.0, bandwidth_bps=1000.0)
+        done = []
+        net.to_node(0, 1000, lambda: done.append(("n0", sim.now)))
+        net.to_node(1, 1000, lambda: done.append(("n1", sim.now)))
+        sim.run()
+        # Both finish at t=1: no cross-node serialization.
+        assert done[0][1] == pytest.approx(1.0)
+        assert done[1][1] == pytest.approx(1.0)
+
+    def test_stats_aggregate(self, sim):
+        net = Network(sim, 2, latency=0.0, bandwidth_bps=1e6)
+        net.to_node(0, 100, lambda: None)
+        net.from_node(1, 200, lambda: None)
+        sim.run()
+        assert net.stats.transfers == 2
+        assert net.stats.bytes_moved == 300

@@ -1,0 +1,80 @@
+"""Tests for the idle-period predictor."""
+
+import pytest
+
+from repro.power import IdlePredictor
+
+
+class TestValidation:
+    def test_alpha_bounds(self):
+        with pytest.raises(ValueError):
+            IdlePredictor(alpha=0.0)
+        with pytest.raises(ValueError):
+            IdlePredictor(alpha=1.5)
+
+    def test_window_positive(self):
+        with pytest.raises(ValueError):
+            IdlePredictor(window=0)
+
+    def test_negative_observation_rejected(self):
+        with pytest.raises(ValueError):
+            IdlePredictor().observe(-1.0)
+
+
+class TestPrediction:
+    def test_initial_prediction_is_initial(self):
+        assert IdlePredictor(initial=3.0).predict() == 3.0
+
+    def test_first_observation_overrides_initial(self):
+        p = IdlePredictor(initial=100.0)
+        p.observe(2.0)
+        assert p.predict() == 2.0
+
+    def test_ewma_update(self):
+        p = IdlePredictor(alpha=0.5)
+        p.observe(10.0)
+        p.observe(20.0)
+        assert p.predict() == pytest.approx(15.0)
+
+    def test_alpha_one_is_last_value(self):
+        p = IdlePredictor(alpha=1.0)
+        for v in (5.0, 9.0, 2.0):
+            p.observe(v)
+        assert p.predict() == 2.0
+
+    def test_constant_sequence_converges_exactly(self):
+        p = IdlePredictor(alpha=0.7)
+        for _ in range(10):
+            p.observe(42.0)
+        assert p.predict() == pytest.approx(42.0)
+
+    def test_observation_count(self):
+        p = IdlePredictor()
+        for _ in range(5):
+            p.observe(1.0)
+        assert p.observations == 5
+
+
+class TestUpperEstimate:
+    def test_upper_is_window_max(self):
+        p = IdlePredictor(window=3)
+        for v in (1.0, 50.0, 2.0):
+            p.observe(v)
+        assert p.predict_upper() == 50.0
+
+    def test_upper_forgets_old_values(self):
+        p = IdlePredictor(window=3)
+        p.observe(100.0)
+        for _ in range(3):
+            p.observe(1.0)
+        assert p.predict_upper() == 1.0
+
+    def test_upper_before_observations_falls_back_to_ewma(self):
+        p = IdlePredictor(initial=7.0)
+        assert p.predict_upper() == 7.0
+
+    def test_recent_tuple_order(self):
+        p = IdlePredictor(window=4)
+        for v in (1.0, 2.0, 3.0):
+            p.observe(v)
+        assert p.recent == (1.0, 2.0, 3.0)

@@ -1,0 +1,318 @@
+"""Property-based tests (hypothesis) on core data structures and the
+paper's algorithmic invariants."""
+
+import math
+
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    DataAccess,
+    SlackOptions,
+    determine_slacks,
+    difference,
+    distance,
+    group_signature,
+    inverse_distance,
+    make_scheduler,
+    signature_bits,
+    signature_from_nodes,
+    similarity,
+)
+from repro.core.basic import BasicScheduler, ScheduleState
+from repro.ir import Affine, const, var
+from repro.sim import StateTimeline
+from repro.storage import StorageCache, StripedFile, StripeMap
+
+KB = 1024
+
+signatures = st.integers(min_value=1, max_value=(1 << 8) - 1)
+envs = st.fixed_dictionaries(
+    {"i": st.integers(-50, 50), "j": st.integers(-50, 50),
+     "p": st.integers(0, 31)}
+)
+
+
+def affine_exprs():
+    return st.builds(
+        lambda ci, cj, cp, c: var("i") * ci + var("j") * cj + var("p") * cp + c,
+        st.integers(-5, 5), st.integers(-5, 5), st.integers(-5, 5),
+        st.integers(-100, 100),
+    )
+
+
+class TestAffineProperties:
+    @given(affine_exprs(), affine_exprs(), envs)
+    def test_addition_homomorphic(self, a, b, env):
+        assert (a + b).evaluate(env) == a.evaluate(env) + b.evaluate(env)
+
+    @given(affine_exprs(), st.integers(-7, 7), envs)
+    def test_scaling_homomorphic(self, a, k, env):
+        assert (a * k).evaluate(env) == k * a.evaluate(env)
+
+    @given(affine_exprs(), envs)
+    def test_subtraction_is_inverse(self, a, env):
+        assert (a - a).evaluate(env) == 0
+
+    @given(affine_exprs(), affine_exprs())
+    def test_addition_commutes(self, a, b):
+        assert a + b == b + a
+
+    @given(affine_exprs(), st.integers(-50, 50), envs)
+    def test_substitute_then_evaluate(self, a, value, env):
+        partial = a.substitute({"i": value})
+        full_env = dict(env)
+        full_env["i"] = value
+        assert partial.evaluate(env) == a.evaluate(full_env)
+
+
+class TestSignatureProperties:
+    @given(signatures, signatures)
+    def test_distance_symmetric(self, g1, g2):
+        assert distance(g1, g2, 8) == distance(g2, g1, 8)
+
+    @given(signatures)
+    def test_self_distance_minimal(self, g):
+        # distance(g, g) = n - |g|: the more nodes shared, the smaller.
+        assert distance(g, g, 8) == 8 - g.bit_count()
+
+    @given(signatures, signatures)
+    def test_distance_bounds(self, g1, g2):
+        d = distance(g1, g2, 8)
+        assert 0 <= d <= 16
+
+    @given(signatures, signatures)
+    def test_similarity_plus_difference_consistent(self, g1, g2):
+        # |g1| + |g2| = 2*similarity + difference.
+        assert g1.bit_count() + g2.bit_count() == (
+            2 * similarity(g1, g2) + difference(g1, g2)
+        )
+
+    @given(signatures, signatures)
+    def test_inverse_distance_positive(self, g1, g2):
+        assert inverse_distance(g1, g2, 8) > 0
+
+    @given(st.lists(signatures, max_size=6))
+    def test_group_signature_superset(self, sigs):
+        g = group_signature(sigs)
+        for s in sigs:
+            assert g & s == s
+
+    @given(st.sets(st.integers(0, 15), max_size=16))
+    def test_nodes_roundtrip(self, nodes):
+        sig = signature_from_nodes(nodes, 16)
+        bits = signature_bits(sig, 16)
+        assert {i for i, b in enumerate(bits) if b} == nodes
+
+
+class TestStripeMapProperties:
+    @given(
+        st.integers(1, 16),                   # nodes
+        st.integers(0, 7),                    # start node (mod later)
+        st.integers(0, 4 * 1024 * KB),        # offset
+        st.integers(0, 1024 * KB),            # size
+    )
+    @settings(max_examples=60)
+    def test_extents_partition_request(self, n_nodes, start, offset, size):
+        smap = StripeMap(64 * KB, n_nodes)
+        f = StripedFile("f", 8 * 1024 * KB, start_node=start % n_nodes)
+        assume(offset + size <= f.size)
+        exts = smap.map_extent(f, offset, size)
+        assert sum(e.size for e in exts) == size
+        assert all(0 <= e.node < n_nodes for e in exts)
+
+    @given(st.integers(1, 16), st.integers(0, 63))
+    def test_round_robin_complete(self, n_nodes, stripe):
+        smap = StripeMap(64 * KB, n_nodes)
+        f = StripedFile("f", 8 * 1024 * KB, start_node=0)
+        node = smap.node_of_stripe(f, stripe)
+        assert node == stripe % n_nodes
+
+    @given(st.integers(1, 8), st.integers(0, 1024 * KB), st.integers(1, 512 * KB))
+    @settings(max_examples=60)
+    def test_signature_covers_exactly_touched_nodes(self, n_nodes, offset, size):
+        smap = StripeMap(64 * KB, n_nodes)
+        f = StripedFile("f", 4 * 1024 * KB, start_node=0)
+        assume(offset + size <= f.size)
+        sig = smap.signature(f, offset, size)
+        nodes = {e.node for e in smap.map_extent(f, offset, size)}
+        assert sig == sum(1 << n for n in nodes)
+
+
+class TestCacheProperties:
+    @given(
+        st.integers(1, 8),
+        st.lists(st.tuples(st.integers(0, 30), st.booleans()), max_size=60),
+    )
+    def test_capacity_never_exceeded(self, capacity, ops):
+        cache = StorageCache(capacity * 64 * KB, 64 * KB)
+        for block, dirty in ops:
+            cache.insert(block, dirty)
+            assert len(cache) <= capacity
+
+    @given(st.lists(st.tuples(st.integers(0, 30), st.booleans()), max_size=60))
+    def test_dirty_blocks_never_lost(self, ops):
+        """Every dirtied block is either still dirty in the cache, was
+        returned for flushing on eviction, or was explicitly cleaned."""
+        cache = StorageCache(4 * 64 * KB, 64 * KB)
+        flushed = set()
+        for block, dirty in ops:
+            flushed.update(cache.insert(block, dirty))
+        dirty_now = set(cache.dirty_blocks())
+        for block, dirty in ops:
+            if dirty:
+                assert (
+                    block in dirty_now
+                    or block in flushed
+                    or cache.contains(block) is False
+                )
+
+    @given(st.lists(st.integers(0, 10), min_size=1, max_size=40))
+    def test_hit_iff_recently_inserted(self, blocks):
+        cache = StorageCache(100 * 64 * KB, 64 * KB)  # never evicts here
+        seen = set()
+        for block in blocks:
+            assert cache.lookup(block) == (block in seen)
+            cache.insert(block)
+            seen.add(block)
+
+
+class TestTimelineProperties:
+    @given(st.lists(st.tuples(st.floats(0.001, 10.0), st.sampled_from(
+        ["a", "b", "c"])), max_size=30))
+    def test_durations_partition_horizon(self, steps):
+        tl = StateTimeline("x", "a")
+        now = 0.0
+        for dt, state in steps:
+            now += dt
+            tl.transition(now, state)
+        tl.finalize(now + 1.0)
+        total = sum(iv.duration for iv in tl.intervals())
+        assert total == pytest.approx(now + 1.0)
+
+    @given(st.lists(st.tuples(st.floats(0.001, 10.0), st.sampled_from(
+        ["a", "b"])), max_size=30))
+    def test_merged_periods_within_horizon_and_disjoint(self, steps):
+        tl = StateTimeline("x", "a")
+        now = 0.0
+        for dt, state in steps:
+            now += dt
+            tl.transition(now, state)
+        tl.finalize(now + 1.0)
+        merged = tl.merged_periods(lambda s: s == "a")
+        for i, iv in enumerate(merged):
+            assert 0 <= iv.start < iv.end <= now + 1.0
+            if i:
+                assert iv.start >= merged[i - 1].end
+
+
+def scheduled_accesses(draw):
+    n = draw(st.integers(1, 20))
+    accesses = []
+    for aid in range(n):
+        begin = draw(st.integers(0, 20))
+        end = begin + draw(st.integers(0, 15))
+        accesses.append(
+            DataAccess(
+                aid=aid,
+                process=draw(st.integers(0, 3)),
+                original_slot=end,
+                begin=begin,
+                end=end,
+                signature=draw(signatures),
+                length=draw(st.integers(1, 3)),
+            )
+        )
+    return accesses
+
+
+class TestSchedulerProperties:
+    @given(st.composite(scheduled_accesses)())
+    @settings(max_examples=40, deadline=None)
+    def test_invariants_hold_for_any_input(self, accesses):
+        sched = make_scheduler(8, delta=4, theta=3, seed=0)
+        state = sched.schedule(accesses)
+        per_process_slots: dict[int, set] = {}
+        for a in accesses:
+            # 1. Everything gets a decision.
+            assert a.scheduled_slot is not None
+            # 2. Start never precedes the window.
+            assert a.scheduled_slot >= a.begin or (
+                a.scheduled_slot == a.original_slot
+            )
+            # 3. One access per process per slot among committed accesses.
+        committed = [
+            a for a in accesses
+            if any(
+                state.group_at(s) & a.signature == a.signature
+                for s in a.occupied_slots()
+            )
+        ]
+        for a in committed:
+            slots = per_process_slots.setdefault(a.process, set())
+            overlap = slots.intersection(a.occupied_slots())
+            # Overlaps may only come from fallback (unscheduled) accesses;
+            # committed ones never collide.
+            if not overlap:
+                slots.update(a.occupied_slots())
+
+    @given(st.composite(scheduled_accesses)())
+    @settings(max_examples=30, deadline=None)
+    def test_group_signatures_cover_commits(self, accesses):
+        sched = make_scheduler(8, delta=3, theta=None, seed=1)
+        state = sched.schedule(accesses)
+        # Rebuild expected group signatures from non-fallback placements.
+        expected: dict[int, int] = {}
+        occupied: dict[int, set] = {}
+        ordered = sorted(accesses, key=lambda a: (a.slack_length, a.process, a.aid))
+        for a in ordered:
+            span = list(a.occupied_slots())
+            taken = occupied.setdefault(a.process, set())
+            # A committed placement always starts inside the legal start
+            # range; a fallback stays at the original slot (which may lie
+            # outside it) and claims no state.
+            last_start = max(a.begin, a.end - a.length + 1)
+            if not a.begin <= a.scheduled_slot <= last_start:
+                continue
+            if any(s in taken for s in span):
+                continue  # fallback access, never committed
+            for s in span:
+                taken.add(s)
+                expected[s] = expected.get(s, 0) | a.signature
+        for slot, sig in expected.items():
+            assert state.group_at(slot) == sig
+
+
+class TestSlackProperties:
+    @given(
+        st.integers(1, 4),     # processes
+        st.integers(2, 8),     # phases
+        st.integers(1, 30),    # max_slack
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_windows_always_contain_a_legal_slot(self, procs, phases, max_slack):
+        from repro.ir import Compute, FileDecl, Loop, Program, Read, Write
+        from repro.ir import trace_program, var
+
+        files = {"f": FileDecl("f", procs * phases * 2, 64 * KB)}
+        p, i = var("p"), var("i")
+        prog = Program("prop", procs, files, [
+            Loop("i", 0, phases - 1, body=[
+                Write("f", p * phases + i),
+                Compute(1.0),
+                Read("f", p * phases + i),
+                Compute(1.0),
+            ]),
+        ])
+        trace = trace_program(prog)
+        smap = StripeMap(64 * KB, 4)
+        sfiles = {"f": StripedFile("f", files["f"].size_bytes)}
+        accesses = determine_slacks(
+            trace, smap, sfiles, SlackOptions(max_slack=max_slack)
+        )
+        for a in accesses:
+            assert a.begin <= a.end
+            assert a.end - a.begin <= max(max_slack, 1)
+            if a.producer is not None:
+                assert a.begin >= a.producer[0] + 1

@@ -1,0 +1,116 @@
+"""Tests for the client-side global prefetch buffer."""
+
+import pytest
+
+from repro.runtime import EntryState, GlobalBuffer
+
+
+class TestValidation:
+    def test_capacity_positive(self, sim):
+        with pytest.raises(ValueError):
+            GlobalBuffer(sim, 0)
+
+
+class TestLifecycle:
+    def test_begin_fetch_reserves_space(self, sim):
+        buf = GlobalBuffer(sim, 4)
+        entry = buf.begin_fetch(0, blocks=3)
+        assert entry.state is EntryState.FETCHING
+        assert buf.used_blocks == 3
+        assert buf.free_blocks == 1
+
+    def test_duplicate_fetch_rejected(self, sim):
+        buf = GlobalBuffer(sim, 4)
+        buf.begin_fetch(0, 1)
+        with pytest.raises(ValueError):
+            buf.begin_fetch(0, 1)
+
+    def test_overflow_rejected(self, sim):
+        buf = GlobalBuffer(sim, 2)
+        buf.begin_fetch(0, 2)
+        with pytest.raises(RuntimeError):
+            buf.begin_fetch(1, 1)
+
+    def test_complete_fires_ready(self, sim):
+        buf = GlobalBuffer(sim, 4)
+        entry = buf.begin_fetch(0, 1)
+        buf.complete_fetch(0)
+        sim.run()
+        assert entry.state is EntryState.READY
+        assert entry.ready.fired
+
+    def test_complete_without_fetch_raises(self, sim):
+        buf = GlobalBuffer(sim, 4)
+        with pytest.raises(KeyError):
+            buf.complete_fetch(9)
+
+    def test_double_complete_raises(self, sim):
+        buf = GlobalBuffer(sim, 4)
+        buf.begin_fetch(0, 1)
+        buf.complete_fetch(0)
+        with pytest.raises(ValueError):
+            buf.complete_fetch(0)
+
+
+class TestConsumption:
+    def test_hit_invalidates_entry(self, sim):
+        """Paper: 'the entry is invalidated to make space for the
+        subsequent data prefetched by the scheduler thread'."""
+        buf = GlobalBuffer(sim, 4)
+        buf.begin_fetch(0, 2)
+        buf.complete_fetch(0)
+        buf.consume(0)
+        assert buf.used_blocks == 0
+        assert buf.lookup(0) is None
+        assert buf.hits == 1
+
+    def test_consume_before_ready_raises(self, sim):
+        buf = GlobalBuffer(sim, 4)
+        buf.begin_fetch(0, 1)
+        with pytest.raises(ValueError):
+            buf.consume(0)
+
+    def test_consume_wakes_space_waiters(self, sim):
+        buf = GlobalBuffer(sim, 1)
+        buf.begin_fetch(0, 1)
+        woken = []
+
+        def stalled():
+            while not buf.has_room(1):
+                yield buf.space_freed
+            woken.append(sim.now)
+
+        sim.process(stalled())
+        sim.schedule(1.0, buf.complete_fetch, 0)
+        sim.schedule(2.0, buf.consume, 0)
+        sim.run()
+        assert woken == [2.0]
+
+    def test_lookup_returns_active_entry(self, sim):
+        buf = GlobalBuffer(sim, 4)
+        entry = buf.begin_fetch(0, 1)
+        assert buf.lookup(0) is entry
+        buf.complete_fetch(0)
+        assert buf.lookup(0) is entry
+
+    def test_abandon_frees_space_idempotently(self, sim):
+        buf = GlobalBuffer(sim, 2)
+        buf.begin_fetch(0, 2)
+        buf.abandon(0)
+        buf.abandon(0)
+        assert buf.used_blocks == 0
+        assert buf.lookup(0) is None
+
+    def test_peak_used_tracked(self, sim):
+        buf = GlobalBuffer(sim, 8)
+        buf.begin_fetch(0, 3)
+        buf.begin_fetch(1, 4)
+        buf.complete_fetch(0)
+        buf.consume(0)
+        assert buf.peak_used == 7
+
+    def test_prefetch_counter(self, sim):
+        buf = GlobalBuffer(sim, 8)
+        buf.begin_fetch(0, 1)
+        buf.begin_fetch(1, 1)
+        assert buf.total_prefetches == 2

@@ -1,0 +1,75 @@
+"""Tests for local-time coordination between processes."""
+
+import pytest
+
+from repro.runtime import LocalClocks
+
+
+class TestClocks:
+    def test_initial_time_is_minus_one(self, sim):
+        clocks = LocalClocks(sim, 2)
+        assert clocks.time_of(0) == -1
+
+    def test_advance(self, sim):
+        clocks = LocalClocks(sim, 2)
+        clocks.advance(0, 3)
+        assert clocks.time_of(0) == 3
+        assert clocks.time_of(1) == -1
+
+    def test_backwards_rejected(self, sim):
+        clocks = LocalClocks(sim, 1)
+        clocks.advance(0, 5)
+        with pytest.raises(ValueError):
+            clocks.advance(0, 4)
+
+    def test_same_slot_advance_is_noop(self, sim):
+        clocks = LocalClocks(sim, 1)
+        clocks.advance(0, 5)
+        clocks.advance(0, 5)
+        assert clocks.time_of(0) == 5
+
+    def test_needs_a_process(self, sim):
+        with pytest.raises(ValueError):
+            LocalClocks(sim, 0)
+
+    def test_wait_until_blocks_then_resumes(self, sim):
+        clocks = LocalClocks(sim, 2)
+        resumed = []
+
+        def waiter():
+            yield from clocks.wait_until(1, 3)
+            resumed.append(sim.now)
+
+        sim.process(waiter())
+        sim.schedule(1.0, clocks.advance, 1, 1)
+        sim.schedule(2.0, clocks.advance, 1, 3)
+        sim.run()
+        assert resumed == [2.0]
+
+    def test_wait_until_already_satisfied(self, sim):
+        clocks = LocalClocks(sim, 1)
+        clocks.advance(0, 10)
+        resumed = []
+
+        def waiter():
+            yield from clocks.wait_until(0, 3)
+            resumed.append(sim.now)
+
+        sim.process(waiter())
+        sim.run()
+        assert resumed == [0.0]
+
+    def test_multiple_waiters_on_one_process(self, sim):
+        clocks = LocalClocks(sim, 1)
+        resumed = []
+
+        def waiter(slot):
+            yield from clocks.wait_until(0, slot)
+            resumed.append(slot)
+
+        sim.process(waiter(2))
+        sim.process(waiter(4))
+        sim.schedule(1.0, clocks.advance, 0, 2)
+        sim.schedule(2.0, clocks.advance, 0, 4)
+        sim.run()
+        assert resumed == [2, 4]

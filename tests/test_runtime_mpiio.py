@@ -1,0 +1,123 @@
+"""Tests for the MPI-IO facade."""
+
+import pytest
+
+from repro.net import Network
+from repro.runtime import MPIIO
+from repro.storage import ParallelFileSystem
+
+from conftest import fast_spec
+
+KB = 1024
+MB = 1024 * KB
+
+
+def make_mpiio(sim, n_nodes=4, block_bytes=128 * KB):
+    pfs = ParallelFileSystem.build(
+        sim, n_nodes=n_nodes, stripe_size=64 * KB,
+        disk_spec=fast_spec(), cache_bytes=1 * MB,
+    )
+    pfs.create_file("data", 16 * MB)
+    net = Network(sim, n_nodes, latency=0.001, bandwidth_bps=1e9)
+    return MPIIO(sim, pfs, net, {"data": block_bytes}), pfs, net
+
+
+class TestRead:
+    def test_read_signal_fires_after_disk_and_network(self, sim):
+        mpi, pfs, net = make_mpiio(sim)
+        done = []
+
+        def proc():
+            yield mpi.read("data", 0)
+            done.append(sim.now)
+
+        sim.process(proc())
+        sim.run()
+        assert len(done) == 1
+        # At least two network latencies plus disk service time passed.
+        assert done[0] > 0.002
+        assert mpi.stats.reads == 1
+        assert mpi.stats.bytes_read == 128 * KB
+
+    def test_multiblock_read(self, sim):
+        mpi, pfs, net = make_mpiio(sim)
+        done = []
+
+        def proc():
+            yield mpi.read("data", 0, blocks=4)
+            done.append(sim.now)
+
+        sim.process(proc())
+        sim.run()
+        assert done
+        assert mpi.stats.bytes_read == 4 * 128 * KB
+
+    def test_cached_reread_is_faster(self, sim):
+        mpi, pfs, net = make_mpiio(sim)
+        times = []
+
+        def proc():
+            t0 = sim.now
+            yield mpi.read("data", 0)
+            times.append(sim.now - t0)
+            t0 = sim.now
+            yield mpi.read("data", 0)
+            times.append(sim.now - t0)
+
+        sim.process(proc())
+        sim.run()
+        assert times[1] < times[0]
+
+    def test_mean_read_latency_tracked(self, sim):
+        mpi, pfs, net = make_mpiio(sim)
+
+        def proc():
+            yield mpi.read("data", 0)
+            yield mpi.read("data", 8)
+
+        sim.process(proc())
+        sim.run()
+        assert mpi.stats.mean_read_latency > 0
+
+    def test_signature_view(self, sim):
+        mpi, pfs, net = make_mpiio(sim)
+        sig = mpi.signature("data", 0)
+        assert sig.bit_count() == 2  # 128KB block = 2 stripes = 2 nodes
+
+
+class TestWrite:
+    def test_write_completes_quickly(self, sim):
+        mpi, pfs, net = make_mpiio(sim)
+        done = []
+
+        def proc():
+            yield mpi.write("data", 0)
+            done.append(sim.now)
+
+        sim.process(proc())
+        sim.run(until=0.5)
+        # Write-back: completion is network time only, well before destage.
+        assert done and done[0] < 0.1
+        assert mpi.stats.writes == 1
+
+    def test_write_eventually_reaches_disks(self, sim):
+        mpi, pfs, net = make_mpiio(sim)
+
+        def proc():
+            yield mpi.write("data", 0)
+
+        sim.process(proc())
+        sim.run()
+        total = sum(d.stats.writes for d in pfs.all_drives())
+        assert total >= 1
+
+    def test_network_traffic_counted(self, sim):
+        mpi, pfs, net = make_mpiio(sim)
+
+        def proc():
+            yield mpi.write("data", 0)
+            yield mpi.read("data", 4)
+
+        sim.process(proc())
+        sim.run()
+        assert net.stats.bytes_moved > 2 * 128 * KB

@@ -1,0 +1,230 @@
+"""Integration tests of the runtime layer: clients, scheduler threads,
+global buffer and session driver on small programs."""
+
+import pytest
+
+from repro.core import CompilerOptions, SlackOptions, compile_schedule
+from repro.ir import (
+    Compute,
+    FileDecl,
+    Loop,
+    Program,
+    Read,
+    Write,
+    trace_program,
+    var,
+)
+from repro.power import NoPowerManagement, make_policy
+from repro.runtime import Session, SessionConfig
+from repro.storage import StripedFile, StripeMap
+
+from conftest import fast_spec
+
+KB = 1024
+
+
+def build_program(n_processes=4, phases=6, stretch_cost=8.0):
+    files = {
+        "in": FileDecl("in", n_processes * phases, 128 * KB),
+        "mid": FileDecl("mid", n_processes * phases, 128 * KB),
+    }
+    p, i = var("p"), var("i")
+    body = [
+        Loop("i", 0, phases - 1, body=[
+            Read("in", p * phases + i),
+            Compute(0.2), Compute(0.2),
+            Write("mid", p * phases + i),
+            Compute(0.2),
+        ]),
+        # A producer->consumer tail: read back own mid blocks.
+        Loop("j", 0, phases - 1, body=[
+            Read("mid", p * phases + var("j")),
+            Compute(stretch_cost),
+        ]),
+    ]
+    return Program("session-test", n_processes, files, body)
+
+
+def make_session(with_scheme: bool, program=None, config=None):
+    program = program or build_program()
+    trace = trace_program(program)
+    cfg = config or SessionConfig(n_ionodes=4, stripe_size=64 * KB)
+    compiled = None
+    if with_scheme:
+        smap = StripeMap(cfg.stripe_size, cfg.n_ionodes)
+        files = {
+            name: StripedFile(name, decl.size_bytes)
+            for name, decl in program.files.items()
+        }
+        compiled = compile_schedule(
+            program, smap, files,
+            CompilerOptions(delta=5, theta=4, slack=SlackOptions(max_slack=30)),
+        )
+    return Session(
+        trace,
+        fast_spec(),
+        lambda: NoPowerManagement(),
+        cfg,
+        compile_result=compiled,
+    )
+
+
+class TestWithoutScheme:
+    def test_all_clients_finish(self):
+        session = make_session(False)
+        result = session.run()
+        assert all(t >= 0 for t in result.client_finish_times)
+        assert result.execution_time == max(result.client_finish_times)
+
+    def test_execution_time_at_least_compute(self):
+        session = make_session(False)
+        compute = session.trace.processes[0].total_compute
+        result = session.run()
+        assert result.execution_time >= compute
+
+    def test_all_reads_synchronous(self):
+        session = make_session(False)
+        result = session.run()
+        for client in result.clients:
+            assert client.stats.reads_from_buffer == 0
+            assert client.stats.reads_synchronous == 12  # 6 + 6 phases
+
+    def test_writes_reach_the_nodes(self):
+        session = make_session(False)
+        result = session.run()
+        total_written = sum(n.stats.bytes_written for n in result.pfs.nodes)
+        assert total_written == 4 * 6 * 128 * KB
+
+
+class TestWithScheme:
+    def test_prefetches_issued_and_consumed(self):
+        session = make_session(True)
+        result = session.run()
+        assert result.buffer is not None
+        assert result.buffer.total_prefetches > 0
+        # Every prefetch the threads issued was eventually consumed.
+        assert result.buffer.hits == result.buffer.total_prefetches
+        assert result.buffer.used_blocks == 0
+
+    def test_buffer_reads_replace_synchronous(self):
+        without = make_session(False).run()
+        with_scheme = make_session(True).run()
+        sync_without = sum(c.stats.reads_synchronous for c in without.clients)
+        sync_with = sum(c.stats.reads_synchronous for c in with_scheme.clients)
+        buffered = sum(
+            c.stats.reads_from_buffer + c.stats.reads_waited_on_prefetch
+            for c in with_scheme.clients
+        )
+        assert sync_with + buffered == sync_without
+        assert buffered > 0
+
+    def test_scheme_does_not_slow_execution_much(self):
+        without = make_session(False).run()
+        with_scheme = make_session(True).run()
+        assert with_scheme.execution_time <= without.execution_time * 1.05
+
+    def test_producer_consumer_never_prefetched_before_write(self):
+        """Correctness invariant (§III): a prefetch of an inter-iteration
+        produced block happens only after its producer's local time passed
+        the write slot — hence no prefetch completes before the producing
+        write was issued."""
+        program = build_program()
+        trace = trace_program(program)
+        cfg = SessionConfig(n_ionodes=4, stripe_size=64 * KB)
+        smap = StripeMap(cfg.stripe_size, cfg.n_ionodes)
+        files = {
+            name: StripedFile(name, decl.size_bytes)
+            for name, decl in program.files.items()
+        }
+        compiled = compile_schedule(
+            program, smap, files,
+            CompilerOptions(delta=5, theta=4, slack=SlackOptions(max_slack=30)),
+        )
+        session = Session(trace, fast_spec(), lambda: NoPowerManagement(),
+                          cfg, compile_result=compiled)
+
+        write_times: dict[tuple, float] = {}
+        read_times: dict[tuple, float] = {}
+        mpi = session.mpi_io
+        orig_write, orig_read = mpi.write, mpi.read
+
+        def write_logged(name, block, blocks=1):
+            for b in range(block, block + blocks):
+                write_times[(name, b)] = session.sim.now
+            return orig_write(name, block, blocks)
+
+        def read_logged(name, block, blocks=1):
+            for b in range(block, block + blocks):
+                read_times.setdefault((name, b), session.sim.now)
+            return orig_read(name, block, blocks)
+
+        mpi.write = write_logged
+        mpi.read = read_logged
+        session.run()
+        for key, t_read in read_times.items():
+            if key in write_times and key[0] == "mid":
+                assert t_read >= write_times[key]
+
+    def test_min_lead_skips_non_early_accesses(self):
+        program = build_program()
+        trace = trace_program(program)
+        cfg = SessionConfig(
+            n_ionodes=4, stripe_size=64 * KB, scheduler_min_lead=10**6
+        )
+        smap = StripeMap(cfg.stripe_size, cfg.n_ionodes)
+        files = {
+            name: StripedFile(name, decl.size_bytes)
+            for name, decl in program.files.items()
+        }
+        compiled = compile_schedule(program, smap, files, CompilerOptions())
+        session = Session(trace, fast_spec(), lambda: NoPowerManagement(),
+                          cfg, compile_result=compiled)
+        result = session.run()
+        # Nothing is "much earlier" than an absurd lead: zero prefetches.
+        assert result.buffer.total_prefetches == 0
+        assert all(c.stats.reads_from_buffer == 0 for c in result.clients)
+
+    def test_tiny_buffer_stalls_but_completes(self):
+        program = build_program()
+        trace = trace_program(program)
+        cfg = SessionConfig(
+            n_ionodes=4, stripe_size=64 * KB, buffer_capacity_blocks=2
+        )
+        smap = StripeMap(cfg.stripe_size, cfg.n_ionodes)
+        files = {
+            name: StripedFile(name, decl.size_bytes)
+            for name, decl in program.files.items()
+        }
+        compiled = compile_schedule(program, smap, files, CompilerOptions())
+        session = Session(trace, fast_spec(), lambda: NoPowerManagement(),
+                          cfg, compile_result=compiled)
+        result = session.run()
+        assert all(t >= 0 for t in result.client_finish_times)
+        assert result.buffer.peak_used <= 2
+
+
+class TestPolicyIntegration:
+    def test_policy_attached_per_drive(self):
+        program = build_program(n_processes=2, phases=2)
+        trace = trace_program(program)
+        policies = []
+
+        def factory():
+            policy = make_policy("simple", timeout=1.0)
+            policies.append(policy)
+            return policy
+
+        cfg = SessionConfig(n_ionodes=4, stripe_size=64 * KB)
+        session = Session(trace, fast_spec(), factory, cfg)
+        session.run()
+        assert len(policies) == 4
+        assert all(p.drive is not None for p in policies)
+
+    def test_no_policy_factory_allowed(self):
+        trace = trace_program(build_program(n_processes=2, phases=2))
+        session = Session(
+            trace, fast_spec(), None,
+            SessionConfig(n_ionodes=4, stripe_size=64 * KB),
+        )
+        assert all(d.policy is None for d in session.pfs.all_drives())
+        session.run()

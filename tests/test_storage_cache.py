@@ -1,0 +1,149 @@
+"""Tests for the per-I/O-node storage cache."""
+
+import pytest
+
+from repro.storage import StorageCache
+
+KB = 1024
+
+
+def make_cache(capacity_blocks=4, block_size=64 * KB):
+    return StorageCache(capacity_blocks * block_size, block_size)
+
+
+class TestValidation:
+    def test_negative_capacity(self):
+        with pytest.raises(ValueError):
+            StorageCache(-1, 64)
+
+    def test_zero_block_size(self):
+        with pytest.raises(ValueError):
+            StorageCache(1024, 0)
+
+
+class TestBlockAddressing:
+    def test_block_of(self):
+        c = make_cache()
+        assert c.block_of(0) == 0
+        assert c.block_of(64 * KB) == 1
+        assert c.block_of(64 * KB - 1) == 0
+
+    def test_blocks_of_range(self):
+        c = make_cache()
+        assert c.blocks_of(0, 64 * KB) == [0]
+        assert c.blocks_of(10, 64 * KB) == [0, 1]
+        assert c.blocks_of(64 * KB, 128 * KB) == [1, 2]
+
+    def test_blocks_of_empty(self):
+        c = make_cache()
+        assert c.blocks_of(100, 0) == []
+
+
+class TestLRU:
+    def test_miss_then_hit(self):
+        c = make_cache()
+        assert not c.lookup(7)
+        c.insert(7)
+        assert c.lookup(7)
+        assert c.stats.hits == 1
+        assert c.stats.misses == 1
+
+    def test_capacity_evicts_lru(self):
+        c = make_cache(capacity_blocks=2)
+        c.insert(1)
+        c.insert(2)
+        c.insert(3)  # evicts 1
+        assert not c.contains(1)
+        assert c.contains(2)
+        assert c.contains(3)
+        assert c.stats.evictions == 1
+
+    def test_lookup_refreshes_recency(self):
+        c = make_cache(capacity_blocks=2)
+        c.insert(1)
+        c.insert(2)
+        c.lookup(1)      # 1 becomes MRU
+        c.insert(3)      # evicts 2
+        assert c.contains(1)
+        assert not c.contains(2)
+
+    def test_contains_does_not_touch_stats_or_order(self):
+        c = make_cache(capacity_blocks=2)
+        c.insert(1)
+        c.insert(2)
+        c.contains(1)
+        c.insert(3)  # still evicts 1: contains() didn't refresh
+        assert not c.contains(1)
+        assert c.stats.accesses == 0
+
+    def test_never_exceeds_capacity(self):
+        c = make_cache(capacity_blocks=3)
+        for b in range(20):
+            c.insert(b)
+        assert len(c) == 3
+
+    def test_sequential_scan_larger_than_cache_always_misses(self):
+        """The LRU scan-thrash behaviour madbench2 relies on."""
+        c = make_cache(capacity_blocks=4)
+        n = 8
+        for b in range(n):
+            c.lookup(b)
+            c.insert(b)
+        hits_before = c.stats.hits
+        for b in range(n):  # re-scan in the same order
+            c.lookup(b)
+            c.insert(b)
+        assert c.stats.hits == hits_before  # zero hits on the re-scan
+
+
+class TestDirty:
+    def test_dirty_eviction_reported_for_flush(self):
+        c = make_cache(capacity_blocks=1)
+        assert c.insert(1, dirty=True) == []
+        flush = c.insert(2)
+        assert flush == [1]
+        assert c.stats.dirty_evictions == 1
+
+    def test_clean_eviction_not_flushed(self):
+        c = make_cache(capacity_blocks=1)
+        c.insert(1, dirty=False)
+        assert c.insert(2) == []
+
+    def test_reinsert_keeps_dirty_bit(self):
+        c = make_cache()
+        c.insert(1, dirty=True)
+        c.insert(1, dirty=False)  # re-touch must not lose dirtiness
+        assert c.dirty_blocks() == [1]
+
+    def test_mark_clean(self):
+        c = make_cache()
+        c.insert(1, dirty=True)
+        c.mark_clean(1)
+        assert c.dirty_blocks() == []
+
+    def test_invalidate_reports_dirtiness(self):
+        c = make_cache()
+        c.insert(1, dirty=True)
+        c.insert(2, dirty=False)
+        assert c.invalidate(1) is True
+        assert c.invalidate(2) is False
+        assert c.invalidate(99) is False
+
+    def test_dirty_blocks_lru_order(self):
+        c = make_cache()
+        c.insert(3, dirty=True)
+        c.insert(1, dirty=True)
+        c.insert(2, dirty=False)
+        assert c.dirty_blocks() == [3, 1]
+
+    def test_zero_capacity_cache_flushes_dirty_immediately(self):
+        c = StorageCache(0, 64 * KB)
+        assert c.insert(5, dirty=True) == [5]
+        assert c.insert(6, dirty=False) == []
+
+    def test_hit_rate(self):
+        c = make_cache()
+        c.insert(1)
+        c.lookup(1)
+        c.lookup(2)
+        assert c.stats.hit_rate == pytest.approx(0.5)

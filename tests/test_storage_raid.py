@@ -1,0 +1,115 @@
+"""Tests for the intra-node RAID layouts."""
+
+import pytest
+
+from repro.storage import RaidMap
+
+KB = 1024
+
+
+class TestValidation:
+    def test_unknown_level(self):
+        with pytest.raises(ValueError):
+            RaidMap(1, 2)
+
+    def test_raid5_needs_three_disks(self):
+        with pytest.raises(ValueError):
+            RaidMap(5, 2)
+
+    def test_raid10_needs_even_disks(self):
+        with pytest.raises(ValueError):
+            RaidMap(10, 3)
+
+    def test_chunk_size_positive(self):
+        with pytest.raises(ValueError):
+            RaidMap(0, 2, chunk_size=0)
+
+    def test_negative_extent(self):
+        with pytest.raises(ValueError):
+            RaidMap(0, 2).map(-1, 10, False)
+
+
+class TestRaid0:
+    def test_single_chunk_single_disk(self):
+        raid = RaidMap(0, 4, chunk_size=64 * KB)
+        ops = raid.map(0, 64 * KB, False)
+        assert len(ops) == 1
+        assert ops[0].disk == 0
+
+    def test_chunks_rotate_disks(self):
+        raid = RaidMap(0, 4, chunk_size=64 * KB)
+        ops = raid.map(0, 256 * KB, False)
+        assert [op.disk for op in ops] == [0, 1, 2, 3]
+
+    def test_bytes_preserved(self):
+        raid = RaidMap(0, 4, chunk_size=64 * KB)
+        ops = raid.map(13 * KB, 200 * KB, False)
+        assert sum(op.nbytes for op in ops) == 200 * KB
+
+    def test_row_addressing(self):
+        raid = RaidMap(0, 2, chunk_size=64 * KB)
+        ops = raid.map(128 * KB, 64 * KB, False)  # chunk 2 -> disk 0 row 1
+        assert ops[0].disk == 0
+        assert ops[0].lba == 64 * KB
+
+    def test_single_disk_degenerate(self):
+        raid = RaidMap(0, 1, chunk_size=64 * KB)
+        ops = raid.map(0, 256 * KB, True)
+        assert all(op.disk == 0 for op in ops)
+
+
+class TestRaid5:
+    def test_read_touches_single_disk(self):
+        raid = RaidMap(5, 4, chunk_size=64 * KB)
+        ops = raid.map(0, 64 * KB, False)
+        assert len(ops) == 1
+        assert not ops[0].is_write
+
+    def test_write_does_read_modify_write(self):
+        raid = RaidMap(5, 4, chunk_size=64 * KB)
+        ops = raid.map(0, 64 * KB, True)
+        writes = [op for op in ops if op.is_write]
+        reads = [op for op in ops if not op.is_write]
+        assert len(writes) == 2  # data + parity
+        assert len(reads) == 2   # old data + old parity
+
+    def test_parity_disk_differs_from_data_disk(self):
+        raid = RaidMap(5, 4, chunk_size=64 * KB)
+        ops = raid.map(0, 64 * KB, True)
+        writes = [op for op in ops if op.is_write]
+        assert writes[0].disk != writes[1].disk
+
+    def test_parity_rotates_across_rows(self):
+        raid = RaidMap(5, 4, chunk_size=64 * KB)
+        parities = set()
+        for row in range(4):
+            chunk_offset = row * raid.data_disks * 64 * KB
+            ops = raid.map(chunk_offset, 64 * KB, True)
+            parity = [op for op in ops if op.is_write][1].disk
+            parities.add(parity)
+        assert len(parities) == 4
+
+    def test_data_disks_count(self):
+        assert RaidMap(5, 4).data_disks == 3
+
+
+class TestRaid10:
+    def test_write_hits_both_mirrors(self):
+        raid = RaidMap(10, 4, chunk_size=64 * KB)
+        ops = raid.map(0, 64 * KB, True)
+        assert {op.disk for op in ops} == {0, 1}
+        assert all(op.is_write for op in ops)
+
+    def test_reads_round_robin_between_mirrors(self):
+        raid = RaidMap(10, 4, chunk_size=64 * KB)
+        first = raid.map(0, 64 * KB, False)[0].disk
+        second = raid.map(0, 64 * KB, False)[0].disk
+        assert {first, second} == {0, 1}
+
+    def test_second_pair_used_for_second_chunk(self):
+        raid = RaidMap(10, 4, chunk_size=64 * KB)
+        ops = raid.map(64 * KB, 64 * KB, True)
+        assert {op.disk for op in ops} == {2, 3}
+
+    def test_data_disks_count(self):
+        assert RaidMap(10, 4).data_disks == 2

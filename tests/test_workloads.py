@@ -1,0 +1,162 @@
+"""Tests for the six application models and the multi-app merger."""
+
+import pytest
+
+from repro.ir import trace_program
+from repro.workloads import all_workloads, get_workload, jitter, merge_traces
+
+APP_NAMES = ("hf", "sar", "astro", "apsi", "madbench2", "wupwise")
+
+
+class TestRegistry:
+    def test_all_six_registered_in_paper_order(self):
+        assert [w.name for w in all_workloads()] == list(APP_NAMES)
+
+    def test_get_workload(self):
+        assert get_workload("hf").name == "hf"
+
+    def test_unknown_workload(self):
+        with pytest.raises(KeyError):
+            get_workload("spec2049")
+
+    def test_affinity_flags(self):
+        """The polyhedral/profiling split the paper describes: scattered
+        astro subscripts force the profiling tool."""
+        flags = {w.name: w.affine for w in all_workloads()}
+        assert flags["astro"] is False
+        assert flags["hf"] is True
+        assert flags["sar"] is True
+        assert flags["apsi"] is True
+
+
+@pytest.mark.parametrize("name", APP_NAMES)
+class TestEveryWorkload:
+    def test_builds_and_traces(self, name):
+        program = get_workload(name).build(n_processes=4, scale=0.1)
+        trace = trace_program(program)
+        assert trace.n_slots > 0
+        assert all(p.n_slots > 0 for p in trace.processes)
+
+    def test_block_subscripts_in_bounds(self, name):
+        program = get_workload(name).build(n_processes=4, scale=0.1)
+        trace = trace_program(program)
+        for io in trace.all_ios():
+            decl = program.files[io.file]
+            assert 0 <= io.block
+            assert io.block + io.blocks <= decl.n_blocks, (
+                f"{name}: {io.file}[{io.block}+{io.blocks}] out of "
+                f"{decl.n_blocks}"
+            )
+
+    def test_affinity_flag_matches_program(self, name):
+        info = get_workload(name)
+        program = info.build(n_processes=4, scale=0.1)
+        assert program.is_affine == info.affine
+
+    def test_has_reads_and_writes(self, name):
+        program = get_workload(name).build(n_processes=4, scale=0.1)
+        trace = trace_program(program)
+        assert trace.reads()
+        assert trace.writes()
+
+    def test_scale_shrinks_work(self, name):
+        small = trace_program(get_workload(name).build(4, scale=0.1))
+        large = trace_program(get_workload(name).build(4, scale=0.3))
+        assert large.n_slots > small.n_slots
+
+    def test_deterministic_build(self, name):
+        t1 = trace_program(get_workload(name).build(4, scale=0.1))
+        t2 = trace_program(get_workload(name).build(4, scale=0.1))
+        assert t1.processes[0].slot_costs == t2.processes[0].slot_costs
+        assert [io.block for io in t1.all_ios()] == [
+            io.block for io in t2.all_ios()
+        ]
+
+    def test_process_count_respected(self, name):
+        program = get_workload(name).build(n_processes=6, scale=0.1)
+        assert program.n_processes == 6
+
+
+class TestJitter:
+    def test_jitter_bounded(self):
+        cost = jitter(2.0, 0.1, 42)
+        values = [cost({"p": p, "i": i}) for p in range(4) for i in range(10)]
+        assert all(1.8 <= v <= 2.2 for v in values)
+
+    def test_jitter_varies(self):
+        cost = jitter(2.0, 0.1, 42)
+        values = {round(cost({"p": p, "i": 0}), 6) for p in range(10)}
+        assert len(values) > 1
+
+    def test_jitter_deterministic(self):
+        a = jitter(2.0, 0.1, 1)
+        b = jitter(2.0, 0.1, 1)
+        env = {"p": 3, "i": 7}
+        assert a(env) == b(env)
+
+    def test_jitter_key_changes_stream(self):
+        env = {"p": 3, "i": 7}
+        assert jitter(2.0, 0.1, 1)(env) != jitter(2.0, 0.1, 2)(env)
+
+    def test_amplitude_validation(self):
+        with pytest.raises(ValueError):
+            jitter(1.0, 1.0)
+        with pytest.raises(ValueError):
+            jitter(1.0, -0.1)
+
+
+class TestMergeTraces:
+    def test_empty_merge_rejected(self):
+        with pytest.raises(ValueError):
+            merge_traces([])
+
+    def test_processes_renumbered(self):
+        a = trace_program(get_workload("sar").build(3, scale=0.1))
+        b = trace_program(get_workload("hf").build(2, scale=0.1))
+        merged = merge_traces([a, b])
+        assert merged.program.n_processes == 5
+        assert [p.process for p in merged.processes] == [0, 1, 2, 3, 4]
+
+    def test_files_prefixed_disjointly(self):
+        a = trace_program(get_workload("sar").build(2, scale=0.1))
+        b = trace_program(get_workload("sar").build(2, scale=0.1))
+        merged = merge_traces([a, b])
+        names = set(merged.program.files)
+        assert any(n.startswith("app0:") for n in names)
+        assert any(n.startswith("app1:") for n in names)
+        assert len(names) == 2 * len(a.program.files)
+
+    def test_ios_preserved(self):
+        a = trace_program(get_workload("sar").build(2, scale=0.1))
+        b = trace_program(get_workload("hf").build(2, scale=0.1))
+        merged = merge_traces([a, b])
+        assert sum(len(p.ios) for p in merged.processes) == (
+            sum(len(p.ios) for p in a.processes)
+            + sum(len(p.ios) for p in b.processes)
+        )
+
+    def test_merged_trace_compiles_and_runs(self):
+        from repro.core import CompilerOptions, SlackOptions, compile_schedule
+        from repro.power import NoPowerManagement
+        from repro.runtime import Session, SessionConfig
+        from repro.storage import StripedFile, StripeMap
+        from conftest import fast_spec
+
+        a = trace_program(get_workload("sar").build(2, scale=0.05))
+        b = trace_program(get_workload("hf").build(2, scale=0.05))
+        merged = merge_traces([a, b])
+        cfg = SessionConfig(n_ionodes=4, stripe_size=64 * 1024)
+        smap = StripeMap(cfg.stripe_size, cfg.n_ionodes)
+        files = {
+            name: StripedFile(name, decl.size_bytes)
+            for name, decl in merged.program.files.items()
+        }
+        compiled = compile_schedule(
+            merged.program, smap, files,
+            CompilerOptions(delta=5, slack=SlackOptions(max_slack=20)),
+            trace=merged,
+        )
+        session = Session(merged, fast_spec(), lambda: NoPowerManagement(),
+                          cfg, compile_result=compiled)
+        result = session.run()
+        assert all(t >= 0 for t in result.client_finish_times)
