@@ -1,0 +1,58 @@
+"""Static schedule verification and IR lint (``repro verify`` / ``repro
+lint``).
+
+The paper's correctness argument rests on two invariants the rest of this
+codebase otherwise only *assumes*: every relocated access stays inside its
+access slack, and no consumer is prefetched before its cross-process
+producer has written.  This package checks both — plus runtime
+realizability (wait-for deadlocks, buffer capacity) and IR hygiene —
+statically, from a :class:`~repro.ir.profiling.AccessTrace` and a
+:class:`~repro.core.table.ScheduleBook`, without ever running the
+simulator.
+
+Layout:
+
+* :mod:`~repro.analysis.diagnostics` — stable-coded :class:`Diagnostic`
+  findings, severities, source anchors, text/JSON :class:`Report`;
+* :mod:`~repro.analysis.schedule_check` — slack windows, horizons,
+  duplicates/unscheduled accesses, producer agreement (``SCHED*``);
+* :mod:`~repro.analysis.races` — producer-wait graph, deadlock cycles,
+  unbounded waits under ``min_lead``/``batch_slots`` (``RACE*``);
+* :mod:`~repro.analysis.capacity` — planned buffer occupancy (``CAP*``)
+  and IR lint (``LINT*``);
+* :mod:`~repro.analysis.verify` — the orchestrating entry points and the
+  :class:`RuntimeModel` the checks are evaluated against.
+"""
+
+from .capacity import CapacityProfile, analyze_capacity, lint_trace
+from .diagnostics import CODES, Diagnostic, Report, Severity, SourceAnchor
+from .races import WaitEdge, build_wait_graph, detect_races
+from .schedule_check import check_book, oracle_writer_table
+from .verify import (
+    RuntimeModel,
+    ScheduleVerificationError,
+    capacity_profile,
+    lint_program,
+    verify_schedule,
+)
+
+__all__ = [
+    "CODES",
+    "Severity",
+    "SourceAnchor",
+    "Diagnostic",
+    "Report",
+    "check_book",
+    "oracle_writer_table",
+    "WaitEdge",
+    "build_wait_graph",
+    "detect_races",
+    "CapacityProfile",
+    "analyze_capacity",
+    "capacity_profile",
+    "lint_trace",
+    "RuntimeModel",
+    "ScheduleVerificationError",
+    "verify_schedule",
+    "lint_program",
+]

@@ -1,0 +1,161 @@
+"""Buffer-capacity analysis and IR lint (codes ``CAP*``, ``LINT*``).
+
+A prefetched block occupies the shared :class:`~repro.runtime.buffer.
+GlobalBuffer` from the slot its issue window starts (the scheduler thread
+reserves space when it begins the fetch) until the consuming iteration
+invalidates the entry.  Sweeping those intervals gives the schedule's
+*planned* per-slot demand:
+
+* **CAP001** — a single access covers more blocks than the whole buffer:
+  it can never be prefetched at all (``begin_fetch`` would overflow; the
+  thread stalls forever on ``has_room``).
+* **CAP002** (warning) — peak planned demand exceeds capacity: the buffer's
+  flow control will stall scheduler threads, so prefetches drift later
+  than the table says and some degrade to synchronous reads.  The schedule
+  is still *correct*, just not realizable as planned.
+
+The IR lint reads the trace itself, independent of any schedule:
+
+* **LINT001** (note) — writes whose blocks are never read at a later slot
+  by any process.  Genuine dead stores look like this, but so do a
+  program's final output files, hence a note rather than a warning.
+* **LINT002** (note) — a declared file no process ever touches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.table import ScheduleBook
+from ..ir.profiling import AccessTrace
+from ..runtime.scheduler_thread import issue_window, will_prefetch
+from .diagnostics import Diagnostic, Severity, SourceAnchor
+
+__all__ = ["CapacityProfile", "analyze_capacity", "lint_trace"]
+
+
+@dataclass
+class CapacityProfile:
+    """Planned buffer occupancy of one schedule."""
+
+    capacity_blocks: int
+    peak_blocks: int = 0
+    peak_slot: int = 0
+    per_process_peak: dict[int, int] = field(default_factory=dict)
+    demand: list[int] = field(default_factory=list)  # per-slot totals
+
+    @property
+    def fits(self) -> bool:
+        return self.peak_blocks <= self.capacity_blocks
+
+
+def analyze_capacity(
+    trace: AccessTrace,
+    book: ScheduleBook,
+    capacity_blocks: int,
+    min_lead: int,
+    batch_slots: int,
+) -> tuple[CapacityProfile, list[Diagnostic]]:
+    """Sweep planned residency intervals; return the profile + CAP*."""
+    if capacity_blocks < 1:
+        raise ValueError(f"capacity must be >= 1 block: {capacity_blocks}")
+    diagnostics: list[Diagnostic] = []
+    horizon = max(trace.n_slots, 1)
+    deltas = [0] * (horizon + 1)
+    per_proc_deltas: dict[int, list[int]] = {}
+
+    for table in book.tables.values():
+        for _slot, accesses in table:
+            for a in accesses:
+                if a.scheduled_slot is None:
+                    continue
+                if not will_prefetch(a.original_slot, a.scheduled_slot,
+                                     min_lead):
+                    continue
+                if a.blocks > capacity_blocks:
+                    diagnostics.append(Diagnostic(
+                        "CAP001", Severity.ERROR,
+                        f"access a{a.aid} needs {a.blocks} blocks but the "
+                        f"buffer holds {capacity_blocks}: it can never be "
+                        f"prefetched",
+                        SourceAnchor(process=a.process, slot=a.scheduled_slot,
+                                     aid=a.aid, file=a.file, block=a.block),
+                    ))
+                    continue
+                start = max(0, issue_window(a.scheduled_slot, batch_slots))
+                end = min(max(a.original_slot, start + 1), horizon)
+                deltas[start] += a.blocks
+                deltas[end] -= a.blocks
+                proc = per_proc_deltas.setdefault(
+                    a.process, [0] * (horizon + 1)
+                )
+                proc[start] += a.blocks
+                proc[end] -= a.blocks
+
+    profile = CapacityProfile(capacity_blocks=capacity_blocks)
+    running = 0
+    demand = []
+    for slot in range(horizon):
+        running += deltas[slot]
+        demand.append(running)
+        if running > profile.peak_blocks:
+            profile.peak_blocks = running
+            profile.peak_slot = slot
+    profile.demand = demand
+    for process, proc_deltas in sorted(per_proc_deltas.items()):
+        running = peak = 0
+        for slot in range(horizon):
+            running += proc_deltas[slot]
+            peak = max(peak, running)
+        profile.per_process_peak[process] = peak
+
+    if profile.peak_blocks > capacity_blocks:
+        diagnostics.append(Diagnostic(
+            "CAP002", Severity.WARNING,
+            f"peak planned demand of {profile.peak_blocks} blocks at slot "
+            f"{profile.peak_slot} exceeds the {capacity_blocks}-block "
+            f"buffer: scheduler threads will stall and prefetches slip "
+            f"behind the table",
+            SourceAnchor(slot=profile.peak_slot),
+        ))
+    return profile, diagnostics
+
+
+def lint_trace(trace: AccessTrace) -> list[Diagnostic]:
+    """IR lint over the traced program: LINT001/LINT002."""
+    diagnostics: list[Diagnostic] = []
+    last_read: dict[tuple[str, int], int] = {}
+    touched_files: set[str] = set()
+    for io in trace.all_ios():
+        touched_files.add(io.file)
+        if not io.is_write:
+            for key in io.block_keys():
+                last_read[key] = max(last_read.get(key, -1), io.slot)
+
+    dead_by_file: dict[str, list] = {}
+    for io in trace.writes():
+        dead_blocks = [
+            key for key in io.block_keys()
+            if last_read.get(key, -1) < io.slot
+        ]
+        if len(dead_blocks) == io.blocks:
+            dead_by_file.setdefault(io.file, []).append(io)
+
+    for file, writes in sorted(dead_by_file.items()):
+        first = writes[0]
+        diagnostics.append(Diagnostic(
+            "LINT001", Severity.INFO,
+            f"{len(writes)} write(s) to {file!r} are never read afterwards "
+            f"(first: block {first.block} at slot {first.slot} by process "
+            f"{first.process}) — dead stores, or the program's output",
+            SourceAnchor(process=first.process, slot=first.slot,
+                         file=file, block=first.block),
+        ))
+
+    for name in sorted(set(trace.program.files) - touched_files):
+        diagnostics.append(Diagnostic(
+            "LINT002", Severity.INFO,
+            f"file {name!r} is declared but never read or written",
+            SourceAnchor(file=name),
+        ))
+    return diagnostics

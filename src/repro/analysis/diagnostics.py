@@ -1,0 +1,215 @@
+"""Diagnostics engine for the static schedule verifier.
+
+Every checker in :mod:`repro.analysis` reports through this module: a
+:class:`Diagnostic` carries a *stable code* (``SCHED001``, ``RACE001``,
+``CAP001``, ``LINT001``, …), a :class:`Severity`, a human message and a
+:class:`SourceAnchor` tying the finding back to the schedule artifact
+(process, slot, access id, file/block).  A :class:`Report` aggregates
+diagnostics and renders them as text (CLI) or JSON (tooling).
+
+Codes are append-only: once published a code keeps its meaning forever,
+so tests and downstream tooling may match on them exactly.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+__all__ = ["Severity", "SourceAnchor", "Diagnostic", "Report", "CODES"]
+
+
+class Severity(enum.IntEnum):
+    """Diagnostic severity; higher is worse (sortable)."""
+
+    INFO = 10
+    WARNING = 20
+    ERROR = 30
+
+    @property
+    def label(self) -> str:
+        return self.name.lower()
+
+
+#: Registry of every stable diagnostic code with its one-line summary.
+#: Append-only — codes never change meaning or get reused.
+CODES: dict[str, str] = {
+    # Schedule verifier (schedule_check.py)
+    "SCHED001": "scheduled slot lies outside the access's slack window",
+    "SCHED002": "scheduled slot overruns the slot horizon",
+    "SCHED003": "access appears more than once in the schedule book",
+    "SCHED004": "traced read has no scheduled access (unscheduled)",
+    "SCHED005": "access filed under the wrong process table",
+    "SCHED006": "recorded producer disagrees with the dependence oracle",
+    "SCHED007": "prefetch ordered at/before its producing write (hazard)",
+    "SCHED008": "scheduled access matches no traced read (phantom)",
+    # Prefetch race / deadlock detector (races.py)
+    "RACE001": "producer-wait cycle: guaranteed cross-process deadlock",
+    "RACE002": "unbounded wait: producer never reaches the awaited slot",
+    "RACE003": "batching stalls the issue window on a producer-wait",
+    # Buffer capacity analyzer (capacity.py)
+    "CAP001": "single access larger than the whole prefetch buffer",
+    "CAP002": "peak live prefetched blocks exceed buffer capacity",
+    # IR lint (capacity.py)
+    "LINT001": "dead write: block is never read after being written",
+    "LINT002": "declared file is never accessed by the program",
+}
+
+
+@dataclass(frozen=True)
+class SourceAnchor:
+    """Where in the schedule/IR a diagnostic points.
+
+    All fields are optional; checkers fill in whatever identifies the
+    finding most precisely (an access id for schedule violations, a
+    process pair for races, a file for IR lint).
+    """
+
+    process: Optional[int] = None
+    slot: Optional[int] = None
+    aid: Optional[int] = None
+    file: Optional[str] = None
+    block: Optional[int] = None
+
+    def as_dict(self) -> dict:
+        return {
+            k: v
+            for k, v in (
+                ("process", self.process),
+                ("slot", self.slot),
+                ("aid", self.aid),
+                ("file", self.file),
+                ("block", self.block),
+            )
+            if v is not None
+        }
+
+    def __str__(self) -> str:
+        parts = []
+        if self.process is not None:
+            parts.append(f"p{self.process}")
+        if self.slot is not None:
+            parts.append(f"slot {self.slot}")
+        if self.aid is not None:
+            parts.append(f"a{self.aid}")
+        if self.file is not None:
+            loc = self.file
+            if self.block is not None:
+                loc += f"[{self.block}]"
+            parts.append(loc)
+        return ":".join(parts) if parts else "<schedule>"
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding of a static checker."""
+
+    code: str
+    severity: Severity
+    message: str
+    anchor: SourceAnchor = field(default_factory=SourceAnchor)
+
+    def __post_init__(self) -> None:
+        if self.code not in CODES:
+            raise ValueError(f"unknown diagnostic code {self.code!r}")
+
+    def as_dict(self) -> dict:
+        return {
+            "code": self.code,
+            "severity": self.severity.label,
+            "summary": CODES[self.code],
+            "message": self.message,
+            "anchor": self.anchor.as_dict(),
+        }
+
+    def render(self) -> str:
+        return f"{self.severity.label}[{self.code}] {self.anchor}: {self.message}"
+
+
+class Report:
+    """An ordered collection of diagnostics with renderers."""
+
+    def __init__(self, diagnostics: Optional[list[Diagnostic]] = None):
+        self.diagnostics: list[Diagnostic] = list(diagnostics or [])
+
+    # ------------------------------------------------------------------
+    def add(self, diagnostic: Diagnostic) -> None:
+        self.diagnostics.append(diagnostic)
+
+    def extend(self, diagnostics) -> None:
+        self.diagnostics.extend(diagnostics)
+
+    def __iter__(self) -> Iterator[Diagnostic]:
+        return iter(self.diagnostics)
+
+    def __len__(self) -> int:
+        return len(self.diagnostics)
+
+    # ------------------------------------------------------------------
+    def with_severity(self, severity: Severity) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is severity]
+
+    @property
+    def errors(self) -> list[Diagnostic]:
+        return self.with_severity(Severity.ERROR)
+
+    @property
+    def warnings(self) -> list[Diagnostic]:
+        return self.with_severity(Severity.WARNING)
+
+    @property
+    def has_errors(self) -> bool:
+        return any(d.severity is Severity.ERROR for d in self.diagnostics)
+
+    def by_code(self, code: str) -> list[Diagnostic]:
+        if code not in CODES:
+            raise ValueError(f"unknown diagnostic code {code!r}")
+        return [d for d in self.diagnostics if d.code == code]
+
+    def codes(self) -> set[str]:
+        return {d.code for d in self.diagnostics}
+
+    def counts(self) -> dict[str, int]:
+        """code → occurrence count, sorted by code."""
+        out: dict[str, int] = {}
+        for d in sorted(self.diagnostics, key=lambda d: d.code):
+            out[d.code] = out.get(d.code, 0) + 1
+        return out
+
+    # ------------------------------------------------------------------
+    def sorted(self) -> list[Diagnostic]:
+        """Worst first, then by code and anchor for stable output."""
+        return sorted(
+            self.diagnostics,
+            key=lambda d: (-int(d.severity), d.code, str(d.anchor)),
+        )
+
+    def render_text(self, title: str = "schedule verification") -> str:
+        lines = [f"== {title} =="]
+        for diag in self.sorted():
+            lines.append(diag.render())
+        lines.append(
+            f"-- {len(self.errors)} error(s), {len(self.warnings)} warning(s), "
+            f"{len(self.with_severity(Severity.INFO))} note(s)"
+        )
+        return "\n".join(lines)
+
+    def as_dict(self) -> dict:
+        return {
+            "diagnostics": [d.as_dict() for d in self.sorted()],
+            "counts": self.counts(),
+            "errors": len(self.errors),
+            "warnings": len(self.warnings),
+            "clean": not self.has_errors,
+        }
+
+    def render_json(self, indent: int = 2) -> str:
+        return json.dumps(self.as_dict(), indent=indent)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Report({len(self.diagnostics)} diagnostics, "
+            f"{len(self.errors)} errors)"
+        )

@@ -1,0 +1,224 @@
+"""Prefetch race / deadlock detection (codes ``RACE001``–``RACE003``).
+
+The runtime's producer-wait makes a scheduler thread block until the
+producing process's local clock passes the write slot.  This module builds
+the inter-process *wait-for graph* that a schedule induces under the
+runtime's ``min_lead``/``batch_slots`` semantics (the pure functions
+:func:`~repro.runtime.scheduler_thread.will_prefetch` and
+:func:`~repro.runtime.scheduler_thread.issue_window`) and reports:
+
+* **RACE001** — a cycle of producer-waits in which every waited-on process
+  is itself blocked before the slot it is awaited at.  Under the paper's
+  runtime model (consumers block on their prefetched data) this is a
+  guaranteed deadlock.  A theorem worth knowing: a schedule whose windows
+  are valid against the *true* producers (SCHED001/006/007-clean) can
+  never contain such a cycle — every wait's target slot precedes the
+  waiter's blocked slot, so the required slots strictly decrease around
+  any cycle, a contradiction.  RACE001 therefore only fires on corrupted
+  or hand-built tables, which is exactly when you want it.
+* **RACE002** — an unbounded wait: the awaited slot lies beyond the
+  producer's slot horizon (its clock never gets there, even at program
+  completion), or the scheduler thread's own pacing window starts beyond
+  its process's horizon.  The thread hangs forever.
+* **RACE003** (note) — batching stall: a window's first slot precedes a
+  producer-wait target inside it, so the whole window's issue blocks on
+  the wait, delaying the window's other prefetches.  Harmless but worth
+  surfacing when tuning ``batch_slots``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.table import ScheduleBook
+from ..ir.profiling import AccessTrace
+from ..runtime.scheduler_thread import issue_window, will_prefetch
+from .diagnostics import Diagnostic, Severity, SourceAnchor
+
+__all__ = ["WaitEdge", "build_wait_graph", "detect_races"]
+
+MAX_REPORTED_CYCLES = 8
+
+
+@dataclass(frozen=True)
+class WaitEdge:
+    """One producer-wait a schedule will perform at runtime."""
+
+    waiter: int       # process whose scheduler thread waits
+    producer: int     # process whose local clock is awaited
+    aid: int          # the prefetched access forcing the wait
+    issue_slot: int   # window start: when the wait begins
+    blocked_at: int   # the waiter's consuming iteration (blocks there)
+    requires: int     # producer local time needed: write slot + 1
+
+
+def build_wait_graph(
+    book: ScheduleBook, min_lead: int, batch_slots: int
+) -> list[WaitEdge]:
+    """Every cross-process producer-wait the runtime would perform.
+
+    Accesses the runtime never prefetches (lead below ``min_lead``) induce
+    no wait: the application reads them synchronously.
+    """
+    edges: list[WaitEdge] = []
+    for table in book.tables.values():
+        for _slot, accesses in table:
+            for a in accesses:
+                if a.producer is None or a.scheduled_slot is None:
+                    continue
+                if not will_prefetch(a.original_slot, a.scheduled_slot,
+                                     min_lead):
+                    continue
+                slot_w, proc_w = a.producer
+                if proc_w == a.process:
+                    continue
+                edges.append(WaitEdge(
+                    waiter=a.process,
+                    producer=proc_w,
+                    aid=a.aid,
+                    issue_slot=issue_window(a.scheduled_slot, batch_slots),
+                    blocked_at=a.original_slot,
+                    requires=slot_w + 1,
+                ))
+    return edges
+
+
+def _pareto_reduce(edges: list[WaitEdge]) -> list[WaitEdge]:
+    """Per (waiter, producer) pair keep only the Pareto frontier over
+    (max ``requires``, min ``blocked_at``) — any deadlock cycle through a
+    dominated edge also exists through a frontier edge, so cycle detection
+    stays exact while the graph shrinks to a few edges per process pair."""
+    by_pair: dict[tuple[int, int], list[WaitEdge]] = {}
+    for e in edges:
+        by_pair.setdefault((e.waiter, e.producer), []).append(e)
+    reduced: list[WaitEdge] = []
+    for pair_edges in by_pair.values():
+        pair_edges.sort(key=lambda e: (-e.requires, e.blocked_at))
+        best_blocked: int | None = None
+        for e in pair_edges:
+            if best_blocked is None or e.blocked_at < best_blocked:
+                reduced.append(e)
+                best_blocked = e.blocked_at
+    return reduced
+
+
+def _find_cycles(edges: list[WaitEdge]) -> list[list[WaitEdge]]:
+    """Cycles in the edge graph where edge ``e1`` chains to ``e2`` iff
+    ``e2`` leaves the process ``e1`` waits on and that process is blocked
+    (at ``e2.blocked_at``) before reaching ``e1.requires``."""
+    succ: dict[int, list[int]] = {}
+    for i, e1 in enumerate(edges):
+        succ[i] = [
+            j for j, e2 in enumerate(edges)
+            if e2.waiter == e1.producer and e1.requires > e2.blocked_at
+        ]
+
+    cycles: list[list[WaitEdge]] = []
+    seen_keys: set[frozenset[int]] = set()
+    state = dict.fromkeys(range(len(edges)), 0)  # 0 new, 1 active, 2 done
+    stack: list[int] = []
+
+    def visit(i: int) -> None:
+        if len(cycles) >= MAX_REPORTED_CYCLES:
+            return
+        state[i] = 1
+        stack.append(i)
+        for j in succ[i]:
+            if state[j] == 1:
+                cycle = stack[stack.index(j):]
+                key = frozenset(edges[k].aid for k in cycle)
+                if key not in seen_keys:
+                    seen_keys.add(key)
+                    cycles.append([edges[k] for k in cycle])
+            elif state[j] == 0:
+                visit(j)
+        stack.pop()
+        state[i] = 2
+
+    for i in range(len(edges)):
+        if state[i] == 0:
+            visit(i)
+    return cycles
+
+
+def detect_races(
+    trace: AccessTrace,
+    book: ScheduleBook,
+    min_lead: int,
+    batch_slots: int,
+) -> list[Diagnostic]:
+    """All RACE* diagnostics for ``book`` under the given runtime knobs."""
+    diagnostics: list[Diagnostic] = []
+    horizons = {p.process: p.n_slots for p in trace.processes}
+    edges = build_wait_graph(book, min_lead, batch_slots)
+
+    # RACE002 — unbounded producer-waits.  A process's clock tops out at
+    # its slot count (advanced once more at completion), so any wait for a
+    # later slot never returns.
+    bounded: list[WaitEdge] = []
+    for e in edges:
+        horizon = horizons.get(e.producer)
+        if horizon is None:
+            diagnostics.append(Diagnostic(
+                "RACE002", Severity.ERROR,
+                f"access a{e.aid} waits on nonexistent process "
+                f"{e.producer}",
+                SourceAnchor(process=e.waiter, slot=e.issue_slot, aid=e.aid),
+            ))
+        elif e.requires > horizon:
+            diagnostics.append(Diagnostic(
+                "RACE002", Severity.ERROR,
+                f"access a{e.aid} waits for process {e.producer} to reach "
+                f"slot {e.requires}, beyond its horizon of {horizon} slots",
+                SourceAnchor(process=e.waiter, slot=e.issue_slot, aid=e.aid),
+            ))
+        else:
+            bounded.append(e)
+
+    # RACE002 (pacing form) — the thread's own issue window starts beyond
+    # its process's horizon, so the pacing wait never returns.
+    for table in book.tables.values():
+        for slot, accesses in table:
+            window = issue_window(slot, batch_slots)
+            horizon = horizons.get(table.process, 0)
+            if window > horizon and accesses:
+                diagnostics.append(Diagnostic(
+                    "RACE002", Severity.ERROR,
+                    f"issue window {window} starts beyond process "
+                    f"{table.process}'s horizon of {horizon} slots",
+                    SourceAnchor(process=table.process, slot=slot,
+                                 aid=accesses[0].aid),
+                ))
+
+    # RACE001 — deadlock cycles among the satisfiable waits.
+    for cycle in _find_cycles(_pareto_reduce(bounded)):
+        chain = "; ".join(
+            f"p{e.waiter} blocked at slot {e.blocked_at} waits for "
+            f"p{e.producer} to reach slot {e.requires} (a{e.aid})"
+            for e in cycle
+        )
+        diagnostics.append(Diagnostic(
+            "RACE001", Severity.ERROR,
+            f"producer-wait cycle: {chain}",
+            SourceAnchor(process=cycle[0].waiter, slot=cycle[0].blocked_at,
+                         aid=cycle[0].aid),
+        ))
+
+    # RACE003 — batching stalls (informational).
+    stalls: dict[int, list[WaitEdge]] = {}
+    for e in bounded:
+        if e.issue_slot < e.requires:
+            stalls.setdefault(e.waiter, []).append(e)
+    for waiter, waiter_edges in sorted(stalls.items()):
+        example = waiter_edges[0]
+        diagnostics.append(Diagnostic(
+            "RACE003", Severity.INFO,
+            f"{len(waiter_edges)} issue window(s) of process {waiter} "
+            f"block on a producer-wait at issue time (e.g. a{example.aid} "
+            f"issued at slot {example.issue_slot} but needs p"
+            f"{example.producer} past slot {example.requires - 1}); larger "
+            f"batch_slots widen this",
+            SourceAnchor(process=waiter, slot=example.issue_slot,
+                         aid=example.aid),
+        ))
+    return diagnostics

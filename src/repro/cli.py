@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Four subcommands:
+Six subcommands:
 
 * ``list`` — the registered workloads and policies;
 * ``run`` — simulate one (workload, policy, scheme) combination and print
@@ -8,7 +8,12 @@ Four subcommands:
 * ``figure`` — regenerate one table/figure of the paper's evaluation;
 * ``schedule`` — compile a workload's I/O schedule and print its stats
   (and, with ``--timeline``, an ASCII view of the per-node access
-  density before and after scheduling).
+  density before and after scheduling);
+* ``verify`` — compile a workload's schedule and statically verify it
+  (slack windows, producer ordering, deadlocks, buffer capacity) without
+  running the simulator; exits non-zero on error diagnostics;
+* ``lint`` — static IR lint of a workload's trace (dead writes,
+  never-accessed files), no schedule needed.
 
 Examples::
 
@@ -16,6 +21,9 @@ Examples::
     python -m repro run --app sar --policy history --scheme --scale 0.1
     python -m repro figure fig12c --scale 0.1
     python -m repro schedule --app hf --scale 0.1 --timeline
+    python -m repro verify --scale 0.1           # all six workloads
+    python -m repro verify --app madbench2 --json
+    python -m repro lint --app astro
 """
 
 from __future__ import annotations
@@ -100,6 +108,28 @@ def build_parser() -> argparse.ArgumentParser:
                          help="print per-node I/O density before/after")
     sched_p.add_argument("--width", type=int, default=72,
                          help="timeline width in columns")
+
+    verify_p = sub.add_parser(
+        "verify", help="statically verify a compiled schedule (no simulation)"
+    )
+    verify_p.add_argument("--app", default=None, choices=APPS,
+                          help="workload to verify (default: all)")
+    verify_p.add_argument("--scale", type=float, default=None)
+    verify_p.add_argument("--clients", type=int, default=None)
+    verify_p.add_argument("--ionodes", type=int, default=None)
+    verify_p.add_argument("--delta", type=int, default=None)
+    verify_p.add_argument("--theta", type=int, default=None)
+    verify_p.add_argument("--json", action="store_true",
+                          help="emit the report as JSON")
+    verify_p.add_argument("--no-lint", action="store_true",
+                          help="skip the IR lint pass")
+
+    lint_p = sub.add_parser("lint", help="lint a workload's IR trace")
+    lint_p.add_argument("--app", default=None, choices=APPS,
+                        help="workload to lint (default: all)")
+    lint_p.add_argument("--scale", type=float, default=None)
+    lint_p.add_argument("--json", action="store_true",
+                        help="emit the report as JSON")
     return parser
 
 
@@ -184,6 +214,50 @@ def cmd_schedule(args, out) -> int:
     return 0
 
 
+def cmd_verify(args, out) -> int:
+    from .analysis import RuntimeModel, verify_schedule
+
+    cfg = _config(args)
+    runner = Runner(cfg)
+    runtime = RuntimeModel.from_session_config(cfg.session_config())
+    apps = [args.app] if args.app else list(APPS)
+    failed = 0
+    for app in apps:
+        compiled = runner.compilation(app)
+        report = verify_schedule(
+            compiled.trace,
+            compiled.book,
+            runtime=runtime,
+            granularity=cfg.granularity,
+            include_lint=not args.no_lint,
+        )
+        if args.json:
+            print(report.render_json(), file=out)
+        else:
+            print(report.render_text(title=f"verify {app}"), file=out)
+        if report.has_errors:
+            failed += 1
+    return 1 if failed else 0
+
+
+def cmd_lint(args, out) -> int:
+    from .analysis import lint_program
+
+    cfg = _config(args)
+    runner = Runner(cfg)
+    apps = [args.app] if args.app else list(APPS)
+    failed = 0
+    for app in apps:
+        report = lint_program(runner.trace(app))
+        if args.json:
+            print(report.render_json(), file=out)
+        else:
+            print(report.render_text(title=f"lint {app}"), file=out)
+        if report.has_errors:
+            failed += 1
+    return 1 if failed else 0
+
+
 def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
     """Entry point; returns the process exit code."""
     out = out or sys.stdout
@@ -193,6 +267,8 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
         "run": cmd_run,
         "figure": cmd_figure,
         "schedule": cmd_schedule,
+        "verify": cmd_verify,
+        "lint": cmd_lint,
     }
     return handlers[args.command](args, out)
 

@@ -129,7 +129,9 @@ class BasicScheduler:
         )
 
     # ------------------------------------------------------------------
-    def reuse_factor(self, access: DataAccess, slot: int, state: ScheduleState) -> float:
+    def reuse_factor(
+        self, access: DataAccess, slot: int, state: ScheduleState
+    ) -> float:
         """R_t for placing ``access`` at ``slot`` under ``state``."""
         total = 0.0
         g = access.signature

@@ -25,7 +25,9 @@ class ExtendedScheduler(BasicScheduler):
     :class:`BasicScheduler` (the test suite asserts that equivalence).
     """
 
-    def reuse_factor(self, access: DataAccess, slot: int, state: ScheduleState) -> float:
+    def reuse_factor(
+        self, access: DataAccess, slot: int, state: ScheduleState
+    ) -> float:
         """R_t over the widened range [t−δ, t+l−1+δ].
 
         Slots inside the access's own span get weight 1; a slot k steps

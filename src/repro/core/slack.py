@@ -16,11 +16,11 @@ from bisect import bisect_left
 from dataclasses import dataclass
 from typing import Optional
 
-from ..ir.profiling import AccessTrace, TracedIO
+from ..ir.profiling import AccessTrace
 from ..storage.striping import StripedFile, StripeMap
 from .access import DataAccess
 
-__all__ = ["SlackOptions", "determine_slacks"]
+__all__ = ["SlackOptions", "determine_slacks", "producer_for"]
 
 
 @dataclass(frozen=True)
@@ -48,20 +48,26 @@ def _producer_before(
     return writers[idx - 1]
 
 
-def _producer_for(
-    writers: Optional[list[tuple[int, int]]], read: TracedIO
+def producer_for(
+    writers: Optional[list[tuple[int, int]]], slot: int, process: int
 ) -> Optional[tuple[int, int]]:
-    """The read's producer: the last write before it, or — when the first
-    write lands at/after the read (negative slack) — that write itself."""
+    """The producer of a read at ``(slot, process)``: the last write before
+    it, or — when the first write lands at/after the read (negative slack)
+    — that write itself.
+
+    Public because the static verifier (:mod:`repro.analysis`) uses the
+    same resolution against the dependence oracle's writer table; the two
+    must never drift apart.
+    """
     if not writers:
         return None
-    before = _producer_before(writers, read.slot)
+    before = _producer_before(writers, slot)
     if before is not None:
         return before
     # Negative slack: the producing write comes at or after the read's
     # iteration.  The earliest writer is the one the read must wait for.
     first = writers[0]
-    if first[1] == read.process and first[0] == read.slot:
+    if first[1] == process and first[0] == slot:
         # Same process writes and reads in one slot: program order within
         # the slot already sequences them; treat as producer-before.
         return None
@@ -98,7 +104,7 @@ def determine_slacks(
             # The binding producer is the latest one over all covered blocks.
             producer: Optional[tuple[int, int]] = None
             for key in io.block_keys():
-                cand = _producer_for(writer_table.get(key), io)
+                cand = producer_for(writer_table.get(key), io.slot, io.process)
                 if cand is not None and (producer is None or cand > producer):
                     producer = cand
 

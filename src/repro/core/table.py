@@ -72,7 +72,12 @@ class ScheduleBook:
         return self.tables[process]
 
     def all_accesses(self) -> list[DataAccess]:
-        out = [a for t in self.tables.values() for accs in t.by_slot.values() for a in accs]
+        out = [
+            a
+            for t in self.tables.values()
+            for accs in t.by_slot.values()
+            for a in accs
+        ]
         out.sort(key=lambda a: a.aid)
         return out
 

@@ -379,7 +379,9 @@ class Drive:
     def _begin_ramp_step(self) -> None:
         if self._ramping or self.current_rpm == self.target_rpm:
             return
-        step = self.spec.rpm_step if self.target_rpm > self.current_rpm else -self.spec.rpm_step
+        step = self.spec.rpm_step
+        if self.target_rpm < self.current_rpm:
+            step = -step
         next_rpm = self.current_rpm + step
         self._ramping = True
         self._ramp_from = self.current_rpm

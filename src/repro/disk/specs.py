@@ -118,7 +118,9 @@ class DiskSpec:
         """
         if rpm_to > rpm_from:
             # Torque to accelerate grows with the target speed's drag.
-            boost = 0.6 * (self.spin_up_power - self.idle_power) * self.rpm_scale(rpm_to)
+            boost = (
+                0.6 * (self.spin_up_power - self.idle_power) * self.rpm_scale(rpm_to)
+            )
             return self.idle_power_at(rpm_to) + boost
         return self.idle_power_at(rpm_to)
 
@@ -154,7 +156,9 @@ class DiskSpec:
         if distance_fraction <= 0:
             return 0.0
         frac = min(distance_fraction, 1.0)
-        sqrt_part = (self.avg_seek_time - self.min_seek_time) * (frac / (1.0 / 3.0)) ** 0.5
+        sqrt_part = (
+            (self.avg_seek_time - self.min_seek_time) * (frac / (1.0 / 3.0)) ** 0.5
+        )
         if frac <= 1.0 / 3.0:
             return self.min_seek_time + sqrt_part
         linear_span = self.max_seek_time - self.avg_seek_time
@@ -185,7 +189,9 @@ class DiskSpec:
         neutral = (transition_e - self.standby_power * transition_t) / saved_per_s
         return max(neutral, transition_t)
 
-    def with_multispeed(self, min_rpm: int = 3_600, rpm_step: int = 1_200) -> "DiskSpec":
+    def with_multispeed(
+        self, min_rpm: int = 3_600, rpm_step: int = 1_200
+    ) -> "DiskSpec":
         """A copy of this spec with the DRPM speed ladder enabled."""
         return replace(self, min_rpm=min_rpm, rpm_step=rpm_step)
 

@@ -90,7 +90,8 @@ def table2_rows(config: Optional[ExperimentConfig] = None) -> FigureResult:
         ("Number of Client (Compute) Nodes", cfg.n_clients),
         ("Number of I/O nodes", cfg.n_ionodes),
         ("Stripe Size", f"{cfg.stripe_size // 1024}KB"),
-        ("Storage Cache Capacity", f"{cfg.cache_bytes // (1024 * 1024)}MB (per I/O node)"),
+        ("Storage Cache Capacity",
+         f"{cfg.cache_bytes // (1024 * 1024)}MB (per I/O node)"),
         ("Individual Disk Capacity", f"{spec.capacity_bytes // 2**30}GB"),
         ("Maximum Disk Rotation Speed", f"{spec.max_rpm} RPM"),
         ("Idle Power", f"{spec.idle_power}W (at {spec.max_rpm} RPM)"),

@@ -63,7 +63,9 @@ class Runner:
     # ------------------------------------------------------------------
     # Cached building blocks
     # ------------------------------------------------------------------
-    def trace(self, workload: str, config: Optional[ExperimentConfig] = None) -> AccessTrace:
+    def trace(
+        self, workload: str, config: Optional[ExperimentConfig] = None
+    ) -> AccessTrace:
         cfg = config or self.config
         key = (workload, cfg.n_clients, cfg.workload_scale, cfg.granularity)
         if key not in self._traces:
@@ -184,7 +186,9 @@ class Runner:
         self._runs[key] = result
         return result
 
-    def baseline(self, workload: str, config: Optional[ExperimentConfig] = None) -> RunResult:
+    def baseline(
+        self, workload: str, config: Optional[ExperimentConfig] = None
+    ) -> RunResult:
         """The Default Scheme run (no power management, no scheduling)."""
         return self.run(workload, "default", scheme=False, config=config)
 

@@ -5,8 +5,9 @@ executing the program: a write ``W[f, a_w·i + c_w]`` inside a loop nest and
 a read ``R[f, a_r·j + c_r]`` depend when the subscripts are equal for some
 in-bounds iterations, which for affine forms reduces to a linear
 Diophantine condition.  :class:`AffineDependenceAnalyzer` solves the
-single-free-variable cases in closed form (gcd test + direct inversion)
-and falls back to bounded enumeration for multi-variable subscripts —
+single-free-variable cases in closed form (lattice-divisibility test +
+direct inversion) and falls back to bounded enumeration for
+multi-variable subscripts —
 exact at our iteration-space sizes, which is all the Omega library's
 answer would give us here.
 
@@ -16,8 +17,6 @@ their agreement on affine programs).
 """
 
 from __future__ import annotations
-
-from math import gcd
 
 from .profiling import AccessTrace, trace_program
 from .program import Program
@@ -30,8 +29,13 @@ def solve_affine_equal(
 ) -> list[int]:
     """All ``i ∈ {lo, lo+step, …, hi}`` with ``coeff·i + constant == target``.
 
-    The classic gcd feasibility test followed by direct inversion — the
-    1-D core of a polyhedral dependence query.
+    The 1-D core of a polyhedral dependence query.  Substituting the
+    lattice parameterization ``i = lo + k·step`` turns the subscript
+    equation into the one-unknown linear Diophantine equation
+    ``(coeff·step)·k == rhs − coeff·lo``, whose gcd feasibility test
+    degenerates to plain divisibility by its single coefficient (gcd of
+    one number is the number itself) — there is no separate gcd branch to
+    take in the 1-D case.
     """
     if step <= 0:
         raise ValueError(f"step must be positive: {step}")
@@ -40,12 +44,12 @@ def solve_affine_equal(
         if rhs != 0:
             return []
         return list(range(lo, hi + 1, step))
-    if rhs % gcd(coeff, 1) != 0:  # pragma: no cover - gcd(coeff,1) == 1
+    lattice_rhs = rhs - coeff * lo
+    modulus = coeff * step
+    if lattice_rhs % modulus != 0:
         return []
-    if rhs % coeff != 0:
-        return []
-    i = rhs // coeff
-    if lo <= i <= hi and (i - lo) % step == 0:
+    i = lo + (lattice_rhs // modulus) * step
+    if lo <= i <= hi:
         return [i]
     return []
 

@@ -40,7 +40,10 @@ class IdleCDF:
 
     def rows(self) -> list[tuple[str, float]]:
         """(bucket label, cumulative fraction) rows for reports."""
-        out = [(f"{edge}", frac) for edge, frac in zip(self.buckets_ms, self.cumulative)]
+        out = [
+            (f"{edge}", frac)
+            for edge, frac in zip(self.buckets_ms, self.cumulative)
+        ]
         out.append((f"{self.buckets_ms[-1]}+", 1.0))
         return out
 

@@ -34,7 +34,9 @@ class NetworkStats:
 class Link:
     """A serialized FIFO link with latency + bandwidth."""
 
-    def __init__(self, sim: Simulator, latency: float, bandwidth_bps: float, name: str = ""):
+    def __init__(
+        self, sim: Simulator, latency: float, bandwidth_bps: float, name: str = ""
+    ):
         if latency < 0:
             raise ValueError(f"negative latency: {latency}")
         if bandwidth_bps <= 0:
@@ -85,7 +87,9 @@ class Network:
         """Move ``nbytes`` from a client to I/O node ``node``."""
         self.links[node].transfer(nbytes, on_complete)
 
-    def from_node(self, node: int, nbytes: int, on_complete: Callable[[], None]) -> None:
+    def from_node(
+        self, node: int, nbytes: int, on_complete: Callable[[], None]
+    ) -> None:
         """Move ``nbytes`` from I/O node ``node`` back to a client."""
         self.links[node].transfer(nbytes, on_complete)
 

@@ -29,7 +29,9 @@ class OracleSpinDown(PowerPolicy):
 
     name = "oracle"
 
-    def __init__(self, idle_intervals: list[tuple[float, float]], tolerance: float = 2.0):
+    def __init__(
+        self, idle_intervals: list[tuple[float, float]], tolerance: float = 2.0
+    ):
         super().__init__()
         self._intervals = sorted(idle_intervals)
         self._starts = [s for s, _l in self._intervals]

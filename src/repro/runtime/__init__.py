@@ -6,7 +6,12 @@ from .buffer import BufferEntry, EntryState, GlobalBuffer
 from .client import ClientProcess, ClientStats
 from .clock import LocalClocks
 from .mpi_io import IOStats, MPIIO
-from .scheduler_thread import SchedulerThread, SchedulerThreadStats
+from .scheduler_thread import (
+    SchedulerThread,
+    SchedulerThreadStats,
+    issue_window,
+    will_prefetch,
+)
 from .session import Session, SessionConfig, SessionResult
 
 __all__ = [
@@ -17,6 +22,8 @@ __all__ = [
     "ClientStats",
     "SchedulerThread",
     "SchedulerThreadStats",
+    "issue_window",
+    "will_prefetch",
     "GlobalBuffer",
     "BufferEntry",
     "EntryState",

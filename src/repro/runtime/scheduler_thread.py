@@ -27,7 +27,41 @@ from .buffer import GlobalBuffer
 from .clock import LocalClocks
 from .mpi_io import MPIIO
 
-__all__ = ["SchedulerThreadStats", "SchedulerThread"]
+__all__ = [
+    "SchedulerThreadStats",
+    "SchedulerThread",
+    "issue_window",
+    "will_prefetch",
+]
+
+
+def issue_window(slot: int, batch_slots: int) -> int:
+    """First slot of the ``batch_slots``-wide issue window containing
+    ``slot``.
+
+    The scheduler thread wakes once per window and issues every table
+    entry of the window at its first slot, so this is the *earliest*
+    iteration at which a prefetch scheduled for ``slot`` can be issued.
+    Pure so the static analyzer (:mod:`repro.analysis`) can reason about
+    issue times without instantiating a thread.
+    """
+    if batch_slots < 1:
+        raise ValueError(f"batch_slots must be >= 1: {batch_slots}")
+    return (slot // batch_slots) * batch_slots
+
+
+def will_prefetch(original_slot: int, scheduled_slot: int, min_lead: int) -> bool:
+    """Whether the runtime prefetches an access at all.
+
+    Only accesses relocated *sufficiently earlier* than their consuming
+    iteration (at least ``min_lead`` slots) are prefetched; the rest are
+    read synchronously by the application process.  This is the exact
+    predicate :meth:`SchedulerThread.run` applies, exposed as a pure
+    function for the static analyzer.
+    """
+    if min_lead < 1:
+        raise ValueError(f"min_lead must be >= 1: {min_lead}")
+    return original_slot - scheduled_slot >= min_lead
 
 
 @dataclass
@@ -83,7 +117,9 @@ class SchedulerThread:
             # Pace against our own application process.
             yield from self.clocks.wait_until(self.process_id, window_start)
             for access in accesses:
-                if access.original_slot - access.scheduled_slot < self.min_lead:
+                if not will_prefetch(
+                    access.original_slot, access.scheduled_slot, self.min_lead
+                ):
                     self.stats.prefetches_skipped_late += 1
                     continue
                 yield from self._prefetch(access)
@@ -92,7 +128,7 @@ class SchedulerThread:
         """Group table entries into ``batch_slots``-wide issue windows."""
         grouped: dict[int, list] = {}
         for slot, accesses in self.table:
-            window = (slot // self.batch_slots) * self.batch_slots
+            window = issue_window(slot, self.batch_slots)
             grouped.setdefault(window, []).extend(accesses)
         for window in sorted(grouped):
             yield window, grouped[window]

@@ -126,7 +126,9 @@ class Simulator:
     # ------------------------------------------------------------------
     # Scheduling primitives
     # ------------------------------------------------------------------
-    def schedule(self, delay: float, callback: Callable[..., None], *args: Any) -> Event:
+    def schedule(
+        self, delay: float, callback: Callable[..., None], *args: Any
+    ) -> Event:
         """Schedule ``callback(*args)`` to run ``delay`` seconds from now."""
         if delay < 0:
             raise ValueError(f"cannot schedule in the past (delay={delay})")
@@ -134,7 +136,9 @@ class Simulator:
         heapq.heappush(self._heap, event)
         return event
 
-    def schedule_at(self, time: float, callback: Callable[..., None], *args: Any) -> Event:
+    def schedule_at(
+        self, time: float, callback: Callable[..., None], *args: Any
+    ) -> Event:
         """Schedule ``callback(*args)`` at absolute simulation ``time``."""
         return self.schedule(time - self.now, callback, *args)
 
@@ -170,7 +174,9 @@ class Simulator:
             return True
         return False
 
-    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
+    def run(
+        self, until: Optional[float] = None, max_events: Optional[int] = None
+    ) -> None:
         """Run until the heap drains, ``until`` is reached, or ``max_events``.
 
         ``until`` advances the clock to exactly that time if the simulation

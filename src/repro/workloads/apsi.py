@@ -74,9 +74,15 @@ def build(n_processes: int = 32, scale: float = 1.0) -> Program:
                 Read("slab", (gstep - 1) * n_processes + p + 1),
                 # Fresh emission forcing (input file, long slack).
                 Read("emissions", (p * steps_total + gstep) * 3),
-            ] + [Compute(jitter(STEP_COST, 0.05, k)) for k in range(STEP_SLOTS // 2)] + [
+            ] + [
+                Compute(jitter(STEP_COST, 0.05, k))
+                for k in range(STEP_SLOTS // 2)
+            ] + [
                 Write("slab", gstep * n_processes + p),
-            ] + [Compute(jitter(STEP_COST, 0.05, 50 + k)) for k in range(STEP_SLOTS - STEP_SLOTS // 2)] + [
+            ] + [
+                Compute(jitter(STEP_COST, 0.05, 50 + k))
+                for k in range(STEP_SLOTS - STEP_SLOTS // 2)
+            ] + [
             ]),
             # Chemistry stretch: runs of long idle periods.
             Loop("cs", 0, stretch_slots - 1, body=[

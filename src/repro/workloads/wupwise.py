@@ -62,9 +62,15 @@ def build(n_processes: int = 32, scale: float = 1.0) -> Program:
             Loop("it", 0, iters - 1, body=[
                 Read("gauge", (p * iters_total + giter) * 2),
                 Read("gauge", (p * iters_total + giter) * 2 + 1),
-            ] + [Compute(jitter(ITER_COST, 0.07, k)) for k in range(ITER_SLOTS // 2)] + [
+            ] + [
+                Compute(jitter(ITER_COST, 0.07, k))
+                for k in range(ITER_SLOTS // 2)
+            ] + [
                 Write("residual", p * iters_total + giter),
-            ] + [Compute(jitter(ITER_COST, 0.07, 100 + k)) for k in range(ITER_SLOTS - ITER_SLOTS // 2)] + [
+            ] + [
+                Compute(jitter(ITER_COST, 0.07, 100 + k))
+                for k in range(ITER_SLOTS - ITER_SLOTS // 2)
+            ] + [
             ]),
             # Deflation stretch: runs of very long idle periods.
             Loop("ds", 0, stretch_slots - 1, body=[

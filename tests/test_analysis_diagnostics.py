@@ -1,0 +1,93 @@
+"""Diagnostics engine: codes, severities, anchors, renderers."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis import CODES, Diagnostic, Report, Severity, SourceAnchor
+
+
+class TestSeverity:
+    def test_ordering(self):
+        assert Severity.ERROR > Severity.WARNING > Severity.INFO
+
+    def test_labels(self):
+        assert Severity.ERROR.label == "error"
+        assert Severity.INFO.label == "info"
+
+
+class TestCodes:
+    def test_registry_is_populated(self):
+        assert {"SCHED001", "RACE001", "CAP001", "LINT001"} <= set(CODES)
+
+    def test_every_code_has_summary(self):
+        for code, summary in CODES.items():
+            assert summary, code
+
+    def test_unknown_code_rejected(self):
+        with pytest.raises(ValueError, match="unknown diagnostic code"):
+            Diagnostic("NOPE999", Severity.ERROR, "bad")
+
+
+class TestSourceAnchor:
+    def test_str_full(self):
+        anchor = SourceAnchor(process=2, slot=7, aid=13, file="f", block=4)
+        assert str(anchor) == "p2:slot 7:a13:f[4]"
+
+    def test_str_empty(self):
+        assert str(SourceAnchor()) == "<schedule>"
+
+    def test_as_dict_drops_missing(self):
+        assert SourceAnchor(process=1).as_dict() == {"process": 1}
+
+
+class TestReport:
+    def _report(self) -> Report:
+        report = Report()
+        report.add(Diagnostic("LINT001", Severity.INFO, "note"))
+        report.add(Diagnostic(
+            "SCHED001", Severity.ERROR, "bad slot", SourceAnchor(aid=3)
+        ))
+        report.add(Diagnostic("CAP002", Severity.WARNING, "tight"))
+        return report
+
+    def test_severity_partition(self):
+        report = self._report()
+        assert len(report) == 3
+        assert report.has_errors
+        assert [d.code for d in report.errors] == ["SCHED001"]
+        assert [d.code for d in report.warnings] == ["CAP002"]
+
+    def test_by_code_and_counts(self):
+        report = self._report()
+        assert len(report.by_code("SCHED001")) == 1
+        assert report.counts() == {"CAP002": 1, "LINT001": 1, "SCHED001": 1}
+        with pytest.raises(ValueError):
+            report.by_code("BOGUS001")
+
+    def test_sorted_worst_first(self):
+        codes = [d.code for d in self._report().sorted()]
+        assert codes == ["SCHED001", "CAP002", "LINT001"]
+
+    def test_render_text(self):
+        text = self._report().render_text(title="unit")
+        assert text.startswith("== unit ==")
+        assert "error[SCHED001] a3: bad slot" in text
+        assert "1 error(s), 1 warning(s), 1 note(s)" in text
+
+    def test_render_json_roundtrip(self):
+        payload = json.loads(self._report().render_json())
+        assert payload["errors"] == 1
+        assert payload["clean"] is False
+        first = payload["diagnostics"][0]
+        assert first["code"] == "SCHED001"
+        assert first["severity"] == "error"
+        assert first["summary"] == CODES["SCHED001"]
+        assert first["anchor"] == {"aid": 3}
+
+    def test_empty_report_is_clean(self):
+        report = Report()
+        assert not report.has_errors
+        assert json.loads(report.render_json())["clean"] is True

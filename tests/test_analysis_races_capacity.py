@@ -1,0 +1,218 @@
+"""Race/deadlock detector, capacity analyzer and IR lint."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import (
+    RuntimeModel,
+    analyze_capacity,
+    build_wait_graph,
+    capacity_profile,
+    detect_races,
+    lint_program,
+    lint_trace,
+    verify_schedule,
+)
+from repro.ir.affine import var
+from repro.ir.profiling import trace_program
+from repro.ir.program import Compute, FileDecl, Loop, Program, Read, Write
+from repro.runtime.scheduler_thread import issue_window, will_prefetch
+from test_analysis_verify import BLOCK, compile_fixture, first_access
+
+
+class TestPureWaitSemantics:
+    """The runtime's wait semantics as pure functions (shared with the
+    static analyzer — these are the exact predicates the thread runs)."""
+
+    def test_issue_window(self):
+        assert issue_window(0, 8) == 0
+        assert issue_window(7, 8) == 0
+        assert issue_window(8, 8) == 8
+        assert issue_window(9, 4) == 8
+
+    def test_issue_window_rejects_bad_batch(self):
+        with pytest.raises(ValueError):
+            issue_window(3, 0)
+
+    def test_will_prefetch_threshold(self):
+        assert will_prefetch(10, 8, 2)
+        assert not will_prefetch(10, 9, 2)
+        assert not will_prefetch(10, 10, 2)
+
+    def test_will_prefetch_rejects_bad_lead(self):
+        with pytest.raises(ValueError):
+            will_prefetch(10, 8, 0)
+
+
+class TestWaitGraph:
+    def test_cross_process_prefetches_induce_edges(self):
+        result = compile_fixture()
+        for a in result.book.all_accesses():
+            a.scheduled_slot = a.begin  # earliest legal slot: lead >= 1
+        edges = build_wait_graph(result.book, min_lead=1, batch_slots=1)
+        assert len(edges) == 8  # every read has a cross-process producer
+        by_aid = {a.aid: a for a in result.book.all_accesses()}
+        for e in edges:
+            assert e.waiter != e.producer
+            assert e.requires == by_aid[e.aid].producer[0] + 1
+            assert e.issue_slot == by_aid[e.aid].scheduled_slot
+            assert e.blocked_at == by_aid[e.aid].original_slot
+
+    def test_min_lead_filters_unprefetched(self):
+        result = compile_fixture()
+        for a in result.book.all_accesses():
+            a.scheduled_slot = a.original_slot  # nothing moved
+        assert build_wait_graph(result.book, 2, 8) == []
+
+
+class TestRaces:
+    def test_stock_fixture_has_no_races(self):
+        result = compile_fixture()
+        diags = detect_races(result.trace, result.book, 2, 8)
+        assert not [d for d in diags if d.severity.label == "error"]
+
+    def test_wait_for_cycle_detected(self):
+        result = compile_fixture()
+        a0 = next(a for a in result.book.all_accesses()
+                  if a.process == 0 and a.original_slot == 4)
+        a1 = next(a for a in result.book.all_accesses()
+                  if a.process == 1 and a.original_slot == 4)
+        # Each claims the other's process writes at slot 4 — a crossing
+        # pair of producer-waits no execution order can satisfy.
+        a0.producer, a0.scheduled_slot = (4, 1), 1
+        a1.producer, a1.scheduled_slot = (4, 0), 1
+        diags = detect_races(result.trace, result.book, 2, 8)
+        codes = {d.code for d in diags}
+        assert "RACE001" in codes
+        report = verify_schedule(result.trace, result.book)
+        assert "RACE001" in report.codes()
+        assert report.has_errors
+
+    def test_unbounded_wait_detected(self):
+        result = compile_fixture()
+        access = next(a for a in result.book.all_accesses()
+                      if a.process == 0 and a.original_slot == 7)
+        access.producer = (100, 1)  # beyond p1's 8-slot horizon
+        access.scheduled_slot = 1
+        diags = detect_races(result.trace, result.book, 2, 8)
+        assert "RACE002" in {d.code for d in diags}
+
+    def test_wait_on_nonexistent_process(self):
+        result = compile_fixture()
+        access = first_access(result)
+        access.producer = (0, 40)
+        access.scheduled_slot = access.original_slot - 2
+        diags = detect_races(result.trace, result.book, 2, 8)
+        assert "RACE002" in {d.code for d in diags}
+
+    def test_batching_stall_is_a_note(self):
+        result = compile_fixture()
+        # Consume at slot 7, produced at slot 3: schedule at slot 5 in an
+        # 8-wide window starting at 0 — the issue blocks until p1 passes 3.
+        access = next(a for a in result.book.all_accesses()
+                      if a.process == 0 and a.original_slot == 7)
+        access.scheduled_slot = 5
+        diags = detect_races(result.trace, result.book, 2, 8)
+        stalls = [d for d in diags if d.code == "RACE003"]
+        assert stalls and stalls[0].severity.label == "info"
+
+
+def wide_read_program() -> Program:
+    """One process, four 4-block input reads (no producers)."""
+    j = var("j")
+    files = {"g": FileDecl("g", 16, BLOCK)}
+    body = [Loop("j", 0, 3, body=[
+        Read("g", j * 4, blocks=4), Compute(1.0),
+    ])]
+    return Program("wide", 1, files, body)
+
+
+def compile_wide():
+    from repro.core.compiler import CompilerOptions, compile_schedule
+    from repro.storage.striping import StripedFile, StripeMap
+
+    program = wide_read_program()
+    trace = trace_program(program)
+    stripe_map = StripeMap(BLOCK, 2)
+    files = {n: StripedFile(n, d.size_bytes) for n, d in program.files.items()}
+    return compile_schedule(program, stripe_map, files, CompilerOptions(),
+                            trace=trace)
+
+
+class TestCapacity:
+    def test_oversized_access_rejected(self):
+        result = compile_wide()
+        access = next(a for a in result.book.all_accesses()
+                      if a.original_slot == 3)
+        access.scheduled_slot = 0  # window [0, 3]: a real prefetch
+        report = verify_schedule(
+            result.trace, result.book,
+            runtime=RuntimeModel(buffer_capacity_blocks=2),
+        )
+        assert "CAP001" in report.codes()
+        assert report.has_errors
+
+    def test_overcommit_is_a_warning(self):
+        result = compile_wide()
+        for a in result.book.all_accesses():
+            if a.original_slot >= 2:
+                a.scheduled_slot = 0  # two 4-block fetches live at once
+        _profile, diags = analyze_capacity(
+            result.trace, result.book, capacity_blocks=4,
+            min_lead=2, batch_slots=1,
+        )
+        (diag,) = [d for d in diags if d.code == "CAP002"]
+        assert diag.severity.label == "warning"
+
+    def test_profile_counts_planned_residency(self):
+        result = compile_wide()
+        access = next(a for a in result.book.all_accesses()
+                      if a.original_slot == 3)
+        access.scheduled_slot = 0
+        profile = capacity_profile(
+            result.trace, result.book,
+            RuntimeModel(min_lead=2, batch_slots=1,
+                         buffer_capacity_blocks=64),
+        )
+        assert profile.peak_blocks >= 4
+        assert profile.fits
+        assert profile.per_process_peak[0] == profile.peak_blocks
+        # Resident from issue window through the consuming slot.
+        assert profile.demand[0] >= 4
+        assert profile.demand[3] == 0
+
+    def test_capacity_validates_input(self):
+        result = compile_wide()
+        with pytest.raises(ValueError):
+            analyze_capacity(result.trace, result.book, 0, 2, 8)
+
+
+def linty_program() -> Program:
+    i = var("i")
+    files = {
+        "in": FileDecl("in", 4, BLOCK),
+        "out": FileDecl("out", 4, BLOCK),
+        "unused": FileDecl("unused", 2, BLOCK),
+    }
+    body = [Loop("i", 0, 3, body=[
+        Read("in", i), Compute(1.0), Write("out", i),
+    ])]
+    return Program("linty", 1, files, body)
+
+
+class TestLint:
+    def test_dead_write_and_unused_file(self):
+        report = lint_program(trace_program(linty_program()))
+        assert {"LINT001", "LINT002"} <= report.codes()
+        assert not report.has_errors  # lint findings are notes
+
+    def test_read_back_write_is_live(self):
+        i = var("i")
+        files = {"t": FileDecl("t", 4, BLOCK)}
+        body = [
+            Loop("i", 0, 3, body=[Write("t", i), Compute(1.0)]),
+            Loop("i", 0, 3, body=[Read("t", i), Compute(1.0)]),
+        ]
+        trace = trace_program(Program("rw", 1, files, body))
+        assert not [d for d in lint_trace(trace) if d.code == "LINT001"]

@@ -7,7 +7,7 @@ import pytest
 from repro.cli import FIGURES, build_parser, main
 from repro.viz import access_density_timeline, drive_state_gantt
 
-from conftest import drain, fast_spec, make_drive, submit_read
+from conftest import drain, make_drive, submit_read
 
 
 def run_cli(*argv):

@@ -1,7 +1,5 @@
 """Tests for access slack determination (§IV-A)."""
 
-import pytest
-
 from repro.core import SlackOptions, determine_slacks
 from repro.ir import (
     Compute,

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.disk import DiskRequest, Drive
+from repro.disk import DiskRequest
 from repro.disk import states as st
 
 from conftest import drain, fast_spec, make_drive, multispeed_fast_spec, submit_read

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.disk import DiskPowerModel, DiskRequest, EnergyBreakdown, TABLE2_DISK
+from repro.disk import DiskPowerModel, EnergyBreakdown, TABLE2_DISK
 from repro.disk import states as st
 from repro.disk.power import RPM_DOWN, RPM_UP
 from repro.sim import StateTimeline

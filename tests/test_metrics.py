@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.disk import DiskRequest
 from repro.metrics import (
     EnergyComparison,
     PAPER_BUCKETS_MS,
@@ -20,7 +19,7 @@ from repro.metrics import (
     improvement,
 )
 
-from conftest import fast_spec, make_drive, submit_read
+from conftest import make_drive, submit_read
 
 
 class TestIdleCDF:

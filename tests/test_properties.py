@@ -1,8 +1,6 @@
 """Property-based tests (hypothesis) on core data structures and the
 paper's algorithmic invariants."""
 
-import math
-
 import pytest
 from hypothesis import assume, given, settings
 from hypothesis import strategies as st
@@ -20,8 +18,7 @@ from repro.core import (
     signature_from_nodes,
     similarity,
 )
-from repro.core.basic import BasicScheduler, ScheduleState
-from repro.ir import Affine, const, var
+from repro.ir import var
 from repro.sim import StateTimeline
 from repro.storage import StorageCache, StripedFile, StripeMap
 

@@ -1,7 +1,5 @@
 """Tests for the MPI-IO facade."""
 
-import pytest
-
 from repro.net import Network
 from repro.runtime import MPIIO
 from repro.storage import ParallelFileSystem

@@ -1,8 +1,6 @@
 """Integration tests of the runtime layer: clients, scheduler threads,
 global buffer and session driver on small programs."""
 
-import pytest
-
 from repro.core import CompilerOptions, SlackOptions, compile_schedule
 from repro.ir import (
     Compute,

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.sim import AllOf, AnyOf, Signal, Simulator, Timeout
+from repro.sim import AllOf, AnyOf, Signal, Timeout
 from repro.sim.events import Event
 
 

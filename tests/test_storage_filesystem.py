@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.disk import TABLE2_DISK
 from repro.storage import ParallelFileSystem
 
 from conftest import fast_spec

@@ -4,7 +4,7 @@ import pytest
 
 from repro.storage import IONode, RaidMap, StorageCache
 
-from conftest import fast_spec, make_drive
+from conftest import make_drive
 
 KB = 1024
 
