@@ -1,11 +1,13 @@
 """Command-line interface.
 
-Six subcommands:
+Seven subcommands:
 
 * ``list`` — the registered workloads and policies;
 * ``run`` — simulate one (workload, policy, scheme) combination and print
   the measured energy, performance and idle statistics;
 * ``figure`` — regenerate one table/figure of the paper's evaluation;
+* ``bench`` — time the figure grid (serial vs parallel vs warm cache) and
+  write a ``BENCH_*.json`` perf record;
 * ``schedule`` — compile a workload's I/O schedule and print its stats
   (and, with ``--timeline``, an ASCII view of the per-node access
   density before and after scheduling);
@@ -15,11 +17,18 @@ Six subcommands:
 * ``lint`` — static IR lint of a workload's trace (dead writes,
   never-accessed files), no schedule needed.
 
+``run`` and ``figure`` go through the parallel executor: ``--jobs N``
+fans simulations out over N worker processes, and every finished point is
+persisted in a content-addressed cache (``--cache-dir``, default
+``$REPRO_CACHE_DIR`` or ``.repro-cache``; disable with ``--no-cache``) so
+repeat invocations skip simulation entirely.
+
 Examples::
 
     python -m repro list
     python -m repro run --app sar --policy history --scheme --scale 0.1
-    python -m repro figure fig12c --scale 0.1
+    python -m repro figure fig12c --scale 0.1 --jobs 4
+    python -m repro bench --quick --jobs 4
     python -m repro schedule --app hf --scale 0.1 --timeline
     python -m repro verify --scale 0.1           # all six workloads
     python -m repro verify --app madbench2 --json
@@ -73,6 +82,20 @@ FIGURES = {
 }
 
 
+def _add_exec_flags(sub_parser: argparse.ArgumentParser) -> None:
+    """Executor knobs shared by the simulating subcommands."""
+    sub_parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for the run grid (default: 1 = in-process)")
+    sub_parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="result cache directory (default: $REPRO_CACHE_DIR or "
+        "./.repro-cache)")
+    sub_parser.add_argument(
+        "--no-cache", action="store_true",
+        help="neither read nor write the on-disk result cache")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -96,10 +119,27 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--ionodes", type=int, default=None)
     run_p.add_argument("--delta", type=int, default=None)
     run_p.add_argument("--theta", type=int, default=None)
+    _add_exec_flags(run_p)
 
     fig_p = sub.add_parser("figure", help="regenerate a paper table/figure")
     fig_p.add_argument("name", choices=sorted(FIGURES))
     fig_p.add_argument("--scale", type=float, default=None)
+    _add_exec_flags(fig_p)
+
+    bench_p = sub.add_parser(
+        "bench", help="time the figure grid and write a BENCH_*.json record"
+    )
+    bench_p.add_argument("--quick", action="store_true",
+                         help="small grid at scale 0.05 (CI smoke)")
+    bench_p.add_argument("--jobs", type=int, default=4, metavar="N",
+                         help="worker processes for the parallel pass")
+    bench_p.add_argument("--scale", type=float, default=None)
+    bench_p.add_argument("--figures", nargs="*", default=None,
+                         metavar="FIG", help="subset of figures to grid")
+    bench_p.add_argument("--output-dir", default=".", metavar="DIR",
+                         help="where to write BENCH_<stamp>.json")
+    bench_p.add_argument("--no-serial", action="store_true",
+                         help="skip the serial baseline pass")
 
     sched_p = sub.add_parser("schedule", help="compile and inspect a schedule")
     sched_p.add_argument("--app", required=True, choices=APPS)
@@ -148,6 +188,23 @@ def _config(args) -> "ExperimentConfig":
     return cfg.scaled(**overrides) if overrides else cfg
 
 
+def _executor(args):
+    """Build (executor, cache) from the shared --jobs/--cache flags."""
+    import os
+
+    from .exec import ExperimentExecutor, ResultCache
+
+    cache = None
+    if not getattr(args, "no_cache", False):
+        cache_dir = (
+            getattr(args, "cache_dir", None)
+            or os.environ.get("REPRO_CACHE_DIR")
+            or ".repro-cache"
+        )
+        cache = ResultCache(cache_dir)
+    return ExperimentExecutor(jobs=args.jobs, cache=cache), cache
+
+
 def cmd_list(_args, out) -> int:
     rows = [(w.name, "affine" if w.affine else "profiled", w.description)
             for w in all_workloads()]
@@ -159,8 +216,18 @@ def cmd_list(_args, out) -> int:
 
 
 def cmd_run(args, out) -> int:
+    from .exec import RunPoint
+
     cfg = _config(args)
-    runner = Runner(cfg)
+    executor, cache = _executor(args)
+    runner = Runner(cfg, cache=cache)
+    executor.warm_runner(
+        runner,
+        [
+            RunPoint(args.app, "default", False, cfg),
+            RunPoint(args.app, args.policy, args.scheme, cfg),
+        ],
+    )
     base = runner.baseline(args.app)
     run = runner.run(args.app, args.policy, args.scheme)
     rows = [
@@ -190,10 +257,46 @@ def cmd_run(args, out) -> int:
 
 
 def cmd_figure(args, out) -> int:
+    from .exec import figure_points
+
     cfg = default_config(scale=args.scale)
-    runner = Runner(cfg)
+    executor, cache = _executor(args)
+    runner = Runner(cfg, cache=cache)
+    executor.warm_runner(runner, figure_points(args.name, cfg))
     result = FIGURES[args.name](runner)
     print(result.text, file=out)
+    stats = executor.stats
+    print(
+        f"[exec] points={stats.points} cache_hits={stats.cache_hits} "
+        f"simulated={stats.simulated} jobs={args.jobs}",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def cmd_bench(args, out) -> int:
+    from .exec import GRID_FIGURES, QUICK_FIGURES, run_bench, write_bench_record
+
+    scale = args.scale if args.scale is not None else (
+        0.05 if args.quick else None
+    )
+    figures = args.figures or (QUICK_FIGURES if args.quick else GRID_FIGURES)
+    unknown = sorted(set(figures) - set(GRID_FIGURES))
+    if unknown:
+        print(f"unknown figure(s): {', '.join(unknown)}", file=sys.stderr)
+        return 2
+    record = run_bench(
+        config=default_config(scale=scale),
+        figures=tuple(figures),
+        jobs=args.jobs,
+        compare_serial=not args.no_serial,
+    )
+    path = write_bench_record(record, args.output_dir)
+    rows = [(k, v) for k, v in record.items()
+            if isinstance(v, (int, float, str)) and k != "kind"]
+    print(format_table(("field", "value"), rows, title="repro bench"),
+          file=out)
+    print(f"record written to {path}", file=out)
     return 0
 
 
@@ -266,6 +369,7 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
         "list": cmd_list,
         "run": cmd_run,
         "figure": cmd_figure,
+        "bench": cmd_bench,
         "schedule": cmd_schedule,
         "verify": cmd_verify,
         "lint": cmd_lint,

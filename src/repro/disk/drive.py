@@ -42,7 +42,7 @@ __all__ = ["DiskRequest", "Drive", "DriveStats"]
 _request_ids = itertools.count()
 
 
-@dataclass
+@dataclass(slots=True)
 class DiskRequest:
     """One block-level request submitted to a drive."""
 
@@ -89,6 +89,38 @@ class DriveStats:
 
 class Drive:
     """An event-driven disk drive with power management hooks."""
+
+    __slots__ = (
+        "sim",
+        "spec",
+        "name",
+        "serve_at_low_rpm",
+        "ramp_restart_delay",
+        "arm_scheduling",
+        "power_model",
+        "timeline",
+        "stats",
+        "current_rpm",
+        "target_rpm",
+        "_queue",
+        "_busy",
+        "_head_cylinder",
+        "_sweep_up",
+        "_spinning_down",
+        "_spin_down_started",
+        "_spin_down_event",
+        "_spun_down",
+        "_spinning_up",
+        "_spin_up_remaining",
+        "_ramping",
+        "_ramp_event",
+        "_ramp_from",
+        "_ramp_to",
+        "_ramp_started",
+        "_ramp_aborting",
+        "ramp_settle_time",
+        "policy",
+    )
 
     def __init__(
         self,

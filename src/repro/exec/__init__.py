@@ -1,0 +1,52 @@
+"""Parallel experiment execution: process-pool fan-out, content-addressed
+result caching, grid enumeration and the ``repro bench`` perf harness.
+
+Layout:
+
+* :mod:`~repro.exec.serialize` — exact JSON round-tripping of
+  :class:`~repro.experiments.runner.RunResult` and the cache/output
+  :data:`~repro.exec.serialize.SCHEMA_VERSION`;
+* :mod:`~repro.exec.cache` — :class:`ResultCache`, a content-addressed
+  on-disk store keyed by the canonical config digest;
+* :mod:`~repro.exec.executor` — :class:`ExperimentExecutor` and the
+  worker entry points (one shared Runner per worker, verify gating);
+* :mod:`~repro.exec.grid` — which run points each paper figure consumes;
+* :mod:`~repro.exec.bench` — timed grid execution and ``BENCH_*.json``
+  perf records.
+"""
+
+from .bench import QUICK_FIGURES, run_bench, write_bench_record
+from .cache import CacheStats, ResultCache, point_digest
+from .executor import (
+    ExecStats,
+    ExperimentExecutor,
+    RunPoint,
+    VerifyFailure,
+    execute_point,
+)
+from .grid import GRID_FIGURES, all_figure_points, figure_points
+from .serialize import (
+    SCHEMA_VERSION,
+    run_result_from_dict,
+    run_result_to_dict,
+)
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "run_result_to_dict",
+    "run_result_from_dict",
+    "point_digest",
+    "CacheStats",
+    "ResultCache",
+    "RunPoint",
+    "VerifyFailure",
+    "ExecStats",
+    "ExperimentExecutor",
+    "execute_point",
+    "figure_points",
+    "all_figure_points",
+    "GRID_FIGURES",
+    "QUICK_FIGURES",
+    "run_bench",
+    "write_bench_record",
+]

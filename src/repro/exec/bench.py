@@ -1,0 +1,115 @@
+"""``repro bench`` — timed execution of the figure grid.
+
+Times the same cold grid three ways — serial in-process, parallel through
+the executor, then a warm-cache replay — and writes a ``BENCH_*.json``
+perf record so successive PRs have a wall-clock trajectory to compare
+against.  The warm pass doubles as an end-to-end cache check: it must
+perform **zero** simulations.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
+import tempfile
+import time
+from pathlib import Path
+from typing import Optional, Sequence
+
+from ..experiments.config import ExperimentConfig, default_config
+from ..experiments.runner import Runner
+from .cache import ResultCache
+from .executor import ExperimentExecutor, RunPoint, execute_point
+from .grid import GRID_FIGURES, all_figure_points
+from .serialize import SCHEMA_VERSION
+
+__all__ = ["QUICK_FIGURES", "run_bench", "write_bench_record"]
+
+#: Small but representative subset for CI smoke runs: baselines plus a
+#: scheme compile + full policy grid for one figure.
+QUICK_FIGURES = ("table3", "fig12a", "fig12b", "fig12c")
+
+
+def _time_serial(points: Sequence[RunPoint], verify: bool) -> float:
+    runner = Runner(points[0].config)
+    start = time.perf_counter()
+    for point in points:
+        execute_point(runner, point, verify=verify)
+    return time.perf_counter() - start
+
+
+def run_bench(
+    config: Optional[ExperimentConfig] = None,
+    figures: Sequence[str] = GRID_FIGURES,
+    jobs: int = 4,
+    verify: bool = True,
+    compare_serial: bool = True,
+    cache_dir: Optional[Path] = None,
+) -> dict:
+    """Run the grid benchmark; returns the record (not yet written).
+
+    ``cache_dir`` is wiped of matching entries by using a fresh temporary
+    directory when omitted, so the parallel pass is genuinely cold.
+    """
+    cfg = config or default_config()
+    points = all_figure_points(cfg, names=figures)
+
+    record: dict = {
+        "kind": "repro-bench",
+        "schema": SCHEMA_VERSION,
+        "created": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "python": sys.version.split()[0],
+        "platform": platform.platform(),
+        "cpu_count": os.cpu_count(),
+        "workload_scale": cfg.workload_scale,
+        "figures": list(figures),
+        "points": len(points),
+        "jobs": jobs,
+        "verify": verify,
+    }
+
+    if compare_serial:
+        record["serial_seconds"] = round(_time_serial(points, verify), 4)
+
+    tmp = None
+    if cache_dir is None:
+        tmp = tempfile.TemporaryDirectory(prefix="repro-bench-cache-")
+        cache_dir = Path(tmp.name)
+    try:
+        cold_cache = ResultCache(Path(cache_dir))
+        executor = ExperimentExecutor(
+            jobs=jobs, cache=cold_cache, verify=verify
+        )
+        start = time.perf_counter()
+        executor.run_points(points)
+        record["parallel_seconds"] = round(time.perf_counter() - start, 4)
+        record["parallel"] = executor.stats.as_dict()
+
+        warm = ExperimentExecutor(
+            jobs=jobs, cache=ResultCache(Path(cache_dir)), verify=verify
+        )
+        start = time.perf_counter()
+        warm.run_points(points)
+        record["warm_seconds"] = round(time.perf_counter() - start, 4)
+        record["warm"] = warm.stats.as_dict()
+    finally:
+        if tmp is not None:
+            tmp.cleanup()
+
+    if compare_serial and record["parallel_seconds"] > 0:
+        record["speedup"] = round(
+            record["serial_seconds"] / record["parallel_seconds"], 2
+        )
+    return record
+
+
+def write_bench_record(record: dict, out_dir: Path) -> Path:
+    """Write the record as ``BENCH_<timestamp>.json``; returns the path."""
+    out_dir = Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    stamp = record["created"].replace("-", "").replace(":", "")
+    path = out_dir / f"BENCH_{stamp}.json"
+    path.write_text(json.dumps(record, indent=2) + "\n", encoding="utf-8")
+    return path

@@ -1,0 +1,150 @@
+"""Content-addressed on-disk cache of :class:`RunResult`.
+
+Every experiment point is addressed by a SHA-256 digest of the canonical
+JSON encoding of ``(schema version, workload, policy, scheme, full
+ExperimentConfig.to_key())``.  Changing *any* knob — δ, θ, the I/O-node
+count, the workload scale, a policy parameter — or bumping
+:data:`~repro.exec.serialize.SCHEMA_VERSION` changes the digest, so the
+cache can only ever return a result computed under exactly the same
+inputs; there is no staleness to invalidate.
+
+Layout: ``<root>/<digest[:2]>/<digest>.json`` (fan-out keeps directories
+small under full-sweep populations).  Writes are atomic (tempfile +
+``os.replace``), which also makes concurrent writers racing on the same
+digest harmless — both write identical bytes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional
+
+from ..experiments.config import ExperimentConfig
+from ..experiments.runner import RunResult
+from .serialize import (
+    SCHEMA_VERSION,
+    canonical_dumps,
+    run_result_from_dict,
+    run_result_to_dict,
+)
+
+__all__ = ["point_digest", "CacheStats", "ResultCache"]
+
+
+def point_digest(
+    config: ExperimentConfig, workload: str, policy: str, scheme: bool
+) -> str:
+    """Stable content address of one experiment point."""
+    payload = canonical_dumps(
+        {
+            "schema": SCHEMA_VERSION,
+            "workload": workload,
+            "policy": policy,
+            "scheme": scheme,
+            "config": {name: value for name, value in config.to_key()},
+        }
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/store counters for one cache instance."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    invalid: int = 0  # unreadable/corrupt entries treated as misses
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "invalid": self.invalid,
+        }
+
+
+@dataclass
+class ResultCache:
+    """Content-addressed result store rooted at ``root``."""
+
+    root: Path
+    stats: CacheStats = field(default_factory=CacheStats)
+
+    def __post_init__(self) -> None:
+        self.root = Path(self.root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    def path_for(self, digest: str) -> Path:
+        return self.root / digest[:2] / f"{digest}.json"
+
+    def lookup(
+        self,
+        config: ExperimentConfig,
+        workload: str,
+        policy: str,
+        scheme: bool,
+    ) -> Optional[RunResult]:
+        """The cached result for this exact point, or None (counted)."""
+        path = self.path_for(point_digest(config, workload, policy, scheme))
+        try:
+            with path.open("r", encoding="utf-8") as fh:
+                result = run_result_from_dict(json.load(fh))
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return None
+        except (ValueError, KeyError, TypeError, OSError):
+            # Corrupt or foreign-schema entry: treat as a miss; the next
+            # store overwrites it.
+            self.stats.invalid += 1
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return result
+
+    def store(
+        self,
+        config: ExperimentConfig,
+        workload: str,
+        policy: str,
+        scheme: bool,
+        result: RunResult,
+    ) -> Path:
+        """Atomically persist one result; returns its path."""
+        path = self.path_for(point_digest(config, workload, policy, scheme))
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = canonical_dumps(run_result_to_dict(result))
+        fd, tmp = tempfile.mkstemp(
+            dir=path.parent, prefix=".tmp-", suffix=".json"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                fh.write(payload)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self.stats.stores += 1
+        return path
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*/*.json"))
+
+    def clear(self) -> int:
+        """Delete every cached entry; returns how many were removed."""
+        removed = 0
+        for entry in self.root.glob("*/*.json"):
+            entry.unlink()
+            removed += 1
+        return removed

@@ -1,0 +1,245 @@
+"""Parallel experiment execution engine.
+
+:class:`ExperimentExecutor` fans a grid of :class:`RunPoint`\\ s out over a
+``ProcessPoolExecutor`` and merges the results with an optional
+content-addressed :class:`~repro.exec.cache.ResultCache`:
+
+1. every point is first resolved against the cache in the parent (a hit
+   costs one JSON read, no simulation, no worker dispatch);
+2. the misses are simulated — in-process for ``jobs <= 1``, otherwise on
+   the pool, where each worker keeps one process-global
+   :class:`~repro.experiments.runner.Runner` so traces and compilations
+   are built once per *worker*, not once per run;
+3. fresh results are written back to the cache (atomic, content-addressed,
+   so concurrent writers are safe).
+
+The simulation kernel is deterministic (seeded tie-breaks, ordered event
+heap), so a parallel sweep returns bit-identical metrics to a serial one;
+``tests/test_exec_executor.py`` locks that in.
+
+Scheme runs are gated by the static verifier (PR 1) before simulation:
+a worker whose schedule has error diagnostics raises
+:class:`VerifyFailure`, which the parent re-raises immediately after
+canceling the remaining queue — a clear top-level error, not a hung pool.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import FIRST_EXCEPTION, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence
+
+from ..experiments.config import ExperimentConfig
+from ..experiments.runner import Runner, RunResult
+from .cache import ResultCache
+
+__all__ = ["RunPoint", "VerifyFailure", "ExecStats", "ExperimentExecutor"]
+
+
+@dataclass(frozen=True)
+class RunPoint:
+    """One cell of the experiment grid."""
+
+    workload: str
+    policy: str
+    scheme: bool
+    config: ExperimentConfig
+
+    def label(self) -> str:
+        tag = "scheme" if self.scheme else "plain"
+        return f"{self.workload}/{self.policy}/{tag}"
+
+
+class VerifyFailure(RuntimeError):
+    """Static schedule verification failed for a grid point.
+
+    Carries only strings so it pickles cleanly across the process pool.
+    """
+
+    def __init__(self, label: str, report_text: str):
+        super().__init__(
+            f"schedule verification failed for {label}:\n{report_text}"
+        )
+        self.label = label
+        self.report_text = report_text
+
+    def __reduce__(self):
+        return (VerifyFailure, (self.label, self.report_text))
+
+
+def execute_point(
+    runner: Runner, point: RunPoint, verify: bool = True
+) -> RunResult:
+    """Verify (scheme runs) then simulate one grid point on ``runner``."""
+    cfg = point.config
+    if verify and point.scheme:
+        from ..analysis import RuntimeModel, verify_schedule
+
+        compiled = runner.compilation(point.workload, cfg)
+        report = verify_schedule(
+            compiled.trace,
+            compiled.book,
+            runtime=RuntimeModel.from_session_config(cfg.session_config()),
+            granularity=cfg.granularity,
+            include_lint=False,
+        )
+        if report.has_errors:
+            raise VerifyFailure(
+                point.label(), report.render_text(title=point.label())
+            )
+    return runner.run(
+        point.workload, point.policy, point.scheme, config=cfg
+    )
+
+
+# ----------------------------------------------------------------------
+# Worker side.  One Runner per worker process: traces and compilations are
+# memoized across every point the worker serves (the memo keys include the
+# relevant config fields, so sweep points share their workload trace).
+# ----------------------------------------------------------------------
+_WORKER_RUNNER: Optional[Runner] = None
+
+
+def _worker_run(point: RunPoint, verify: bool) -> RunResult:
+    global _WORKER_RUNNER
+    if _WORKER_RUNNER is None:
+        _WORKER_RUNNER = Runner(point.config)
+    return execute_point(_WORKER_RUNNER, point, verify=verify)
+
+
+@dataclass
+class ExecStats:
+    """What one :meth:`ExperimentExecutor.run_points` call actually did."""
+
+    points: int = 0
+    cache_hits: int = 0
+    simulated: int = 0
+
+    def merged(self, other: "ExecStats") -> "ExecStats":
+        return ExecStats(
+            points=self.points + other.points,
+            cache_hits=self.cache_hits + other.cache_hits,
+            simulated=self.simulated + other.simulated,
+        )
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "points": self.points,
+            "cache_hits": self.cache_hits,
+            "simulated": self.simulated,
+        }
+
+
+class ExperimentExecutor:
+    """Cache-aware, optionally parallel driver for a grid of run points."""
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        cache: Optional[ResultCache] = None,
+        verify: bool = True,
+    ):
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1: {jobs}")
+        self.jobs = jobs
+        self.cache = cache
+        self.verify = verify
+        self.stats = ExecStats()
+
+    # ------------------------------------------------------------------
+    def run_points(
+        self, points: Iterable[RunPoint]
+    ) -> dict[RunPoint, RunResult]:
+        """Resolve every point (cache, then simulate); returns point→result.
+
+        Duplicate points are resolved once.  Results are deterministic and
+        independent of ``jobs``.
+        """
+        unique: list[RunPoint] = []
+        seen: set[RunPoint] = set()
+        for point in points:
+            if point not in seen:
+                seen.add(point)
+                unique.append(point)
+
+        results: dict[RunPoint, RunResult] = {}
+        misses: list[RunPoint] = []
+        for point in unique:
+            cached = None
+            if self.cache is not None:
+                cached = self.cache.lookup(
+                    point.config, point.workload, point.policy, point.scheme
+                )
+            if cached is not None:
+                results[point] = cached
+                self.stats.cache_hits += 1
+            else:
+                misses.append(point)
+        self.stats.points += len(unique)
+
+        if misses:
+            if self.jobs <= 1 or len(misses) == 1:
+                self._run_serial(misses, results)
+            else:
+                self._run_parallel(misses, results)
+            if self.cache is not None:
+                for point in misses:
+                    self.cache.store(
+                        point.config,
+                        point.workload,
+                        point.policy,
+                        point.scheme,
+                        results[point],
+                    )
+            self.stats.simulated += len(misses)
+        return results
+
+    def _run_serial(
+        self, misses: Sequence[RunPoint], results: dict[RunPoint, RunResult]
+    ) -> None:
+        runner = Runner(misses[0].config)
+        for point in misses:
+            results[point] = execute_point(runner, point, verify=self.verify)
+
+    def _run_parallel(
+        self, misses: Sequence[RunPoint], results: dict[RunPoint, RunResult]
+    ) -> None:
+        pool = ProcessPoolExecutor(max_workers=min(self.jobs, len(misses)))
+        try:
+            futures = {
+                pool.submit(_worker_run, point, self.verify): point
+                for point in misses
+            }
+            done, not_done = wait(futures, return_when=FIRST_EXCEPTION)
+            error = next(
+                (f.exception() for f in done if f.exception() is not None),
+                None,
+            )
+            if error is not None:
+                for future in not_done:
+                    future.cancel()
+                pool.shutdown(wait=False, cancel_futures=True)
+                raise error
+            for future, point in futures.items():
+                results[point] = future.result()
+        except BaseException:
+            pool.shutdown(wait=False, cancel_futures=True)
+            raise
+        pool.shutdown()
+
+    # ------------------------------------------------------------------
+    def warm_runner(
+        self, runner: Runner, points: Iterable[RunPoint]
+    ) -> dict[RunPoint, RunResult]:
+        """Resolve ``points`` and seed them into ``runner``'s memo table.
+
+        Figure drivers then find every grid cell already materialized and
+        never fall back to in-process simulation.
+        """
+        results = self.run_points(points)
+        for point, result in results.items():
+            runner.seed_result(
+                point.workload, point.policy, point.scheme, point.config,
+                result,
+            )
+        return results

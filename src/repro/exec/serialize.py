@@ -1,0 +1,96 @@
+"""JSON (de)serialization for run results.
+
+The on-disk result cache and the machine-readable figure/bench outputs
+share one canonical encoding.  Round-tripping is *exact*: every float is
+emitted with ``repr`` semantics (what :mod:`json` does), which Python
+guarantees to parse back bit-identically, so a result loaded from the
+cache compares equal to the freshly-simulated one.
+
+:data:`SCHEMA_VERSION` names the layout *and* the simulation semantics a
+cached result was produced under.  Bump it whenever :class:`RunResult`
+gains/loses a field **or** a code change legitimately alters simulated
+metrics — the version participates in the cache digest, so stale entries
+become unreachable instead of being wrongly reused.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from ..experiments.runner import RunResult
+from ..metrics.idle import IdleCDF
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "canonical_dumps",
+    "idle_cdf_to_dict",
+    "idle_cdf_from_dict",
+    "run_result_to_dict",
+    "run_result_from_dict",
+]
+
+#: Cache/output schema + simulation-semantics version.
+SCHEMA_VERSION = 1
+
+
+def canonical_dumps(obj: Any) -> str:
+    """Deterministic JSON: sorted keys, no insignificant whitespace."""
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+def idle_cdf_to_dict(cdf: IdleCDF) -> dict[str, Any]:
+    return {
+        "buckets_ms": list(cdf.buckets_ms),
+        "cumulative": list(cdf.cumulative),
+        "count": cdf.count,
+        "total_idle_seconds": cdf.total_idle_seconds,
+        "mean_seconds": cdf.mean_seconds,
+    }
+
+
+def idle_cdf_from_dict(d: dict[str, Any]) -> IdleCDF:
+    return IdleCDF(
+        buckets_ms=tuple(d["buckets_ms"]),
+        cumulative=tuple(d["cumulative"]),
+        count=d["count"],
+        total_idle_seconds=d["total_idle_seconds"],
+        mean_seconds=d["mean_seconds"],
+    )
+
+
+def run_result_to_dict(result: RunResult) -> dict[str, Any]:
+    return {
+        "schema": SCHEMA_VERSION,
+        "workload": result.workload,
+        "policy": result.policy,
+        "scheme": result.scheme,
+        "execution_time": result.execution_time,
+        "energy_joules": result.energy_joules,
+        "idle_cdf": idle_cdf_to_dict(result.idle_cdf),
+        "idle_periods": list(result.idle_periods),
+        "energy_breakdown": dict(result.energy_breakdown),
+        "buffer_hits": result.buffer_hits,
+        "prefetches": result.prefetches,
+        "accesses": result.accesses,
+    }
+
+
+def run_result_from_dict(d: dict[str, Any]) -> RunResult:
+    if d.get("schema") != SCHEMA_VERSION:
+        raise ValueError(
+            f"result schema {d.get('schema')!r} != current {SCHEMA_VERSION}"
+        )
+    return RunResult(
+        workload=d["workload"],
+        policy=d["policy"],
+        scheme=d["scheme"],
+        execution_time=d["execution_time"],
+        energy_joules=d["energy_joules"],
+        idle_cdf=idle_cdf_from_dict(d["idle_cdf"]),
+        idle_periods=list(d["idle_periods"]),
+        energy_breakdown=dict(d["energy_breakdown"]),
+        buffer_hits=d["buffer_hits"],
+        prefetches=d["prefetches"],
+        accesses=d["accesses"],
+    )

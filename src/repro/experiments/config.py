@@ -10,7 +10,7 @@ can memoize results.
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, fields, replace
 
 from ..disk.specs import TABLE2_DISK, DiskSpec, table2_multispeed_spec
 from ..runtime.session import SessionConfig
@@ -72,6 +72,18 @@ class ExperimentConfig:
     def scaled(self, **changes) -> "ExperimentConfig":
         """A copy with the given fields replaced."""
         return replace(self, **changes)
+
+    def to_key(self) -> tuple[tuple[str, object], ...]:
+        """Canonical, order-stable ``((field, value), ...)`` key.
+
+        This is the *only* sanctioned way to use a config as a memoization
+        or cache key: it enumerates every dataclass field by name, so it
+        cannot silently conflate two configs (dataclass ``hash``/``eq``
+        would break if a future field were added with ``compare=False``)
+        and it keys equally across processes, unlike ``hash()`` which is
+        salted per-interpreter for any str-containing value.
+        """
+        return tuple((f.name, getattr(self, f.name)) for f in fields(self))
 
 
 def bench_scale() -> float:

@@ -10,7 +10,7 @@ configuration so the figure functions can share runs.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from ..core.compiler import CompileResult, CompilerOptions, compile_schedule
 from ..core.slack import SlackOptions
@@ -27,6 +27,9 @@ from ..power import (
 from ..runtime.session import Session
 from ..workloads import get_workload
 from .config import ExperimentConfig
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..exec.cache import ResultCache
 
 __all__ = ["RunResult", "Runner", "POLICIES", "MULTISPEED_POLICIES"]
 
@@ -52,10 +55,21 @@ class RunResult:
 
 
 class Runner:
-    """Memoizing experiment driver for one base configuration."""
+    """Memoizing experiment driver for one base configuration.
 
-    def __init__(self, config: ExperimentConfig):
+    With a :class:`~repro.exec.cache.ResultCache` attached, finished runs
+    are also persisted on disk (content-addressed by the canonical config
+    key), so repeat invocations — and parallel workers feeding the same
+    cache — never re-simulate an unchanged point.  ``simulations`` counts
+    the runs that actually hit the simulator in this process.
+    """
+
+    def __init__(
+        self, config: ExperimentConfig, cache: Optional["ResultCache"] = None
+    ):
         self.config = config
+        self.cache = cache
+        self.simulations = 0
         self._traces: dict[tuple, AccessTrace] = {}
         self._compilations: dict[tuple, CompileResult] = {}
         self._runs: dict[tuple, RunResult] = {}
@@ -143,12 +157,18 @@ class Runner:
         scheme: bool,
         config: Optional[ExperimentConfig] = None,
     ) -> RunResult:
-        """Run (memoized) and distil one experiment."""
+        """Run (memoized, disk-cached) and distil one experiment."""
         cfg = config or self.config
-        key = (workload, policy, scheme, cfg)
+        key = (workload, policy, scheme, cfg.to_key())
         if key in self._runs:
             return self._runs[key]
+        if self.cache is not None:
+            cached = self.cache.lookup(cfg, workload, policy, scheme)
+            if cached is not None:
+                self._runs[key] = cached
+                return cached
 
+        self.simulations += 1
         trace = self.trace(workload, cfg)
         compile_result = self.compilation(workload, cfg) if scheme else None
         multispeed = policy in MULTISPEED_POLICIES
@@ -184,7 +204,24 @@ class Runner:
             accesses=len(compile_result.accesses) if compile_result else 0,
         )
         self._runs[key] = result
+        if self.cache is not None:
+            self.cache.store(cfg, workload, policy, scheme, result)
         return result
+
+    def seed_result(
+        self,
+        workload: str,
+        policy: str,
+        scheme: bool,
+        config: ExperimentConfig,
+        result: RunResult,
+    ) -> None:
+        """Install an externally-computed result into the memo table.
+
+        The parallel executor uses this to make figure drivers — which call
+        :meth:`run` serially — find every grid point already materialized.
+        """
+        self._runs[(workload, policy, scheme, config.to_key())] = result
 
     def baseline(
         self, workload: str, config: Optional[ExperimentConfig] = None

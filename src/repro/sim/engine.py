@@ -115,13 +115,27 @@ class SimProcess:
 
 
 class Simulator:
-    """Event-heap discrete-event simulator with generator processes."""
+    """Event-heap discrete-event simulator with generator processes.
+
+    The heap stores ``(time, seq, Event)`` tuples so ordering is decided by
+    C-level tuple comparison on the unique ``(time, seq)`` prefix.  Canceled
+    events stay in the heap (cancel is O(1)) and are skipped on pop; an
+    exact live-event counter plus lazy compaction keep
+    :attr:`pending_events` O(1) and bound the garbage the heap can carry.
+    """
+
+    __slots__ = ("now", "_heap", "_processes", "_events_executed", "_canceled")
+
+    #: Compact the heap when this many canceled entries have accumulated
+    #: *and* they outnumber the live ones (amortized O(1) per cancel).
+    _COMPACT_MIN = 64
 
     def __init__(self) -> None:
         self.now: float = 0.0
-        self._heap: list[Event] = []
+        self._heap: list[tuple[float, int, Event]] = []
         self._processes: list[SimProcess] = []
         self._events_executed = 0
+        self._canceled = 0  # canceled entries still sitting in the heap
 
     # ------------------------------------------------------------------
     # Scheduling primitives
@@ -132,9 +146,25 @@ class Simulator:
         """Schedule ``callback(*args)`` to run ``delay`` seconds from now."""
         if delay < 0:
             raise ValueError(f"cannot schedule in the past (delay={delay})")
-        event = Event(self.now + delay, callback, args)
-        heapq.heappush(self._heap, event)
+        event = Event(self.now + delay, callback, args, sim=self)
+        heapq.heappush(self._heap, (event.time, event.seq, event))
         return event
+
+    def cancel(self, event: Event) -> None:
+        """Cancel a scheduled event (same as :meth:`Event.cancel`)."""
+        event.cancel()
+
+    def _note_cancel(self) -> None:
+        """Bookkeeping hook invoked by :meth:`Event.cancel`."""
+        self._canceled += 1
+        heap = self._heap
+        if (
+            self._canceled >= self._COMPACT_MIN
+            and self._canceled * 2 > len(heap)
+        ):
+            self._heap = [entry for entry in heap if not entry[2].canceled]
+            heapq.heapify(self._heap)
+            self._canceled = 0
 
     def schedule_at(
         self, time: float, callback: Callable[..., None], *args: Any
@@ -162,13 +192,17 @@ class Simulator:
     # ------------------------------------------------------------------
     def step(self) -> bool:
         """Execute the next pending event.  Returns False when drained."""
-        while self._heap:
-            event = heapq.heappop(self._heap)
+        heap = self._heap
+        heappop = heapq.heappop
+        while heap:
+            time, _seq, event = heappop(heap)
             if event.canceled:
+                self._canceled -= 1
                 continue
-            if event.time < self.now - 1e-12:
+            if time < self.now - 1e-12:
                 raise RuntimeError("event heap corrupted: time went backwards")
-            self.now = max(self.now, event.time)
+            if time > self.now:
+                self.now = time
             self._events_executed += 1
             event.callback(*event.args)
             return True
@@ -198,14 +232,16 @@ class Simulator:
             self.now = until
 
     def _peek(self) -> Optional[Event]:
-        while self._heap and self._heap[0].canceled:
-            heapq.heappop(self._heap)
-        return self._heap[0] if self._heap else None
+        heap = self._heap
+        while heap and heap[0][2].canceled:
+            heapq.heappop(heap)
+            self._canceled -= 1
+        return heap[0][2] if heap else None
 
     @property
     def pending_events(self) -> int:
-        """Number of non-canceled events still queued."""
-        return sum(1 for e in self._heap if not e.canceled)
+        """Number of non-canceled events still queued (O(1))."""
+        return len(self._heap) - self._canceled
 
     @property
     def events_executed(self) -> int:

@@ -22,23 +22,44 @@ class Event:
 
     Instances are created by :meth:`repro.sim.engine.Simulator.schedule`;
     user code normally only keeps them around to :meth:`cancel` them.
+
+    The owning simulator stores events inside ``(time, seq, Event)`` heap
+    entries, so ordering is resolved by C-level tuple comparison on the
+    ``(time, seq)`` prefix and :meth:`__lt__` stays off the hot path (it is
+    kept for explicit comparisons in user code and tests).
     """
 
-    __slots__ = ("time", "seq", "callback", "args", "canceled")
+    __slots__ = ("time", "seq", "callback", "args", "canceled", "sim")
 
-    def __init__(self, time: float, callback: Callable[..., None], args: tuple):
+    def __init__(
+        self,
+        time: float,
+        callback: Callable[..., None],
+        args: tuple,
+        sim: Optional[Any] = None,
+    ):
         self.time = time
         self.seq = next(_event_ids)
         self.callback = callback
         self.args = args
         self.canceled = False
+        self.sim = sim
 
     def cancel(self) -> None:
-        """Prevent the callback from firing (idempotent)."""
-        self.canceled = True
+        """Prevent the callback from firing (idempotent).
+
+        Canceling notifies the owning simulator so its live-event counter
+        stays exact and stale heap entries can be compacted lazily.
+        """
+        if not self.canceled:
+            self.canceled = True
+            if self.sim is not None:
+                self.sim._note_cancel()
 
     def __lt__(self, other: "Event") -> bool:
-        return (self.time, self.seq) < (other.time, other.seq)
+        if self.time != other.time:
+            return self.time < other.time
+        return self.seq < other.seq
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         status = "canceled" if self.canceled else "pending"

@@ -14,7 +14,7 @@ from typing import Callable, Iterator, Optional
 __all__ = ["Interval", "StateTimeline"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Interval:
     """A half-open time interval ``[start, end)`` spent in ``state``."""
 
@@ -29,6 +29,8 @@ class Interval:
 
 class StateTimeline:
     """Append-only record of the states one component moved through."""
+
+    __slots__ = ("name", "_intervals", "_current_state", "_current_since")
 
     def __init__(self, name: str, initial_state: str, start_time: float = 0.0):
         self.name = name
@@ -46,17 +48,16 @@ class StateTimeline:
 
     def transition(self, now: float, new_state: str) -> None:
         """Close the current interval at ``now`` and enter ``new_state``."""
-        if now < self._current_since - 1e-12:
+        since = self._current_since
+        if now < since - 1e-12:
             raise ValueError(
                 f"{self.name}: transition at {now} precedes interval start "
-                f"{self._current_since}"
+                f"{since}"
             )
         if new_state == self._current_state:
             return
-        if now > self._current_since:
-            self._intervals.append(
-                Interval(self._current_since, now, self._current_state)
-            )
+        if now > since:
+            self._intervals.append(Interval(since, now, self._current_state))
         self._current_state = new_state
         self._current_since = now
 

@@ -13,6 +13,13 @@ def sim() -> Simulator:
     return Simulator()
 
 
+@pytest.fixture(autouse=True)
+def _hermetic_result_cache(tmp_path, monkeypatch):
+    """Point the CLI's default result cache at a per-test directory so
+    tests never read (or leave behind) a shared ``.repro-cache``."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "repro-cache"))
+
+
 def fast_spec(**overrides) -> DiskSpec:
     """A disk spec with transitions shrunk so policy tests run in short
     simulated horizons.  Power numbers stay at Table II values."""

@@ -78,6 +78,53 @@ class TestCommands:
         assert code == 0
         assert "wupwise" in text
 
+    def test_figure_with_jobs_and_cache(self, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        code, text = run_cli(
+            "figure", "fig12a", "--scale", "0.05",
+            "--jobs", "2", "--cache-dir", cache_dir,
+        )
+        assert code == 0
+        assert "wupwise" in text
+        # Warm replay reproduces the figure byte-for-byte from the cache.
+        code2, text2 = run_cli(
+            "figure", "fig12a", "--scale", "0.05", "--cache-dir", cache_dir,
+        )
+        assert code2 == 0
+        assert text2 == text
+
+    def test_run_no_cache(self):
+        code, text = run_cli(
+            "run", "--app", "sar", "--scale", "0.05", "--no-cache",
+        )
+        assert code == 0
+        assert "energy saving" in text
+
+    def test_bench_quick_writes_record(self, tmp_path):
+        import json
+
+        code, text = run_cli(
+            "bench", "--quick", "--jobs", "1", "--no-serial",
+            "--figures", "table3",
+            "--output-dir", str(tmp_path),
+        )
+        assert code == 0
+        assert "record written to" in text
+        records = list(tmp_path.glob("BENCH_*.json"))
+        assert len(records) == 1
+        record = json.loads(records[0].read_text())
+        assert record["kind"] == "repro-bench"
+        assert record["points"] == 6
+        assert record["parallel_seconds"] > 0
+        assert record["warm"]["simulated"] == 0
+        assert record["warm"]["cache_hits"] == record["points"]
+
+    def test_bench_rejects_unknown_figure(self, tmp_path):
+        code, _text = run_cli(
+            "bench", "--figures", "fig99", "--output-dir", str(tmp_path),
+        )
+        assert code == 2
+
     def test_schedule_with_timeline(self):
         code, text = run_cli(
             "schedule", "--app", "madbench2", "--scale", "0.05",

@@ -52,6 +52,28 @@ class TestConfig:
     def test_config_hashable_for_memoization(self):
         assert hash(ExperimentConfig()) == hash(ExperimentConfig())
 
+    def test_to_key_covers_every_field(self):
+        """Regression: the canonical key must enumerate every dataclass
+        field by name, so no future knob can silently fall out of the
+        memo/cache identity."""
+        from dataclasses import fields
+
+        key = ExperimentConfig().to_key()
+        assert [name for name, _ in key] == [
+            f.name for f in fields(ExperimentConfig)
+        ]
+
+    def test_to_key_equal_iff_configs_equal(self):
+        a, b = ExperimentConfig(), ExperimentConfig()
+        assert a.to_key() == b.to_key()
+        assert a.scaled(delta=40).to_key() != a.to_key()
+        assert a.scaled(workload_scale=0.5).to_key() != a.to_key()
+
+    def test_to_key_is_hashable_and_order_stable(self):
+        cfg = ExperimentConfig()
+        assert hash(cfg.to_key()) == hash(cfg.to_key())
+        assert cfg.to_key() == cfg.scaled().to_key()
+
     def test_default_config_env_scale(self, monkeypatch):
         monkeypatch.setenv("REPRO_SCALE", "0.5")
         assert default_config().workload_scale == 0.5
@@ -92,6 +114,14 @@ class TestRunnerCaching:
     def test_unknown_policy_rejected(self, runner):
         with pytest.raises(ValueError):
             runner.run("sar", "turbo", False)
+
+    def test_run_memo_keyed_on_canonical_key(self, runner):
+        """Regression for the old `(workload, policy, scheme, cfg)` key:
+        an equal-but-distinct config object must hit the same memo entry."""
+        twin = ExperimentConfig(workload_scale=0.05)
+        assert twin is not TINY and twin == TINY
+        first = runner.run("sar", "default", False, config=TINY)
+        assert runner.run("sar", "default", False, config=twin) is first
 
 
 class TestRunResults:

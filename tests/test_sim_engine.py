@@ -94,6 +94,73 @@ class TestScheduling:
         b = Event(2.0, lambda: None, ())
         assert a < b
 
+    def test_same_time_ordering_by_sequence(self):
+        a = Event(1.0, lambda: None, ())
+        b = Event(1.0, lambda: None, ())
+        assert a < b
+        assert not b < a
+
+
+class TestPendingCounter:
+    """pending_events is an O(1) counter that stays exact under cancels."""
+
+    def test_counts_scheduled_events(self, sim):
+        for i in range(5):
+            sim.schedule(float(i + 1), lambda: None)
+        assert sim.pending_events == 5
+
+    def test_cancel_decrements_immediately(self, sim):
+        events = [sim.schedule(float(i + 1), lambda: None) for i in range(5)]
+        events[0].cancel()
+        events[3].cancel()
+        assert sim.pending_events == 3
+
+    def test_cancel_idempotence_counts_once(self, sim):
+        event = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        event.cancel()
+        event.cancel()
+        event.cancel()
+        assert sim.pending_events == 1
+
+    def test_sim_cancel_method(self, sim):
+        event = sim.schedule(1.0, lambda: None)
+        sim.cancel(event)
+        assert event.canceled
+        assert sim.pending_events == 0
+
+    def test_counter_exact_after_pops_skip_canceled(self, sim):
+        seen = []
+        keep = [sim.schedule(float(i + 1), seen.append, i) for i in range(4)]
+        for event in keep[1:3]:
+            event.cancel()
+        sim.run()
+        assert seen == [0, 3]
+        assert sim.pending_events == 0
+
+    def test_compaction_keeps_live_events(self, sim):
+        """Mass-canceling (beyond the compaction threshold) must preserve
+        every live event and keep the counter exact."""
+        seen = []
+        live = [sim.schedule(1000.0 + i, seen.append, i) for i in range(10)]
+        doomed = [sim.schedule(float(i + 1), lambda: None) for i in range(500)]
+        for event in doomed:
+            event.cancel()
+        assert sim.pending_events == len(live)
+        # Internals: compaction actually shrank the heap.
+        assert len(sim._heap) < 100
+        sim.run()
+        assert sorted(seen) == list(range(10))
+
+    def test_interleaved_cancel_and_execute(self, sim):
+        """Cancels issued from inside callbacks keep the counter exact."""
+        target = sim.schedule(5.0, lambda: None)
+        sim.schedule(1.0, target.cancel)
+        sim.schedule(2.0, lambda: None)
+        sim.run()
+        assert sim.pending_events == 0
+        assert sim.now == 2.0
+
 
 class TestProcesses:
     def test_timeout_advances_clock(self, sim):
