@@ -1,13 +1,16 @@
 """Command-line interface.
 
-Seven subcommands:
+Eight subcommands:
 
 * ``list`` — the registered workloads and policies;
 * ``run`` — simulate one (workload, policy, scheme) combination and print
   the measured energy, performance and idle statistics;
 * ``figure`` — regenerate one table/figure of the paper's evaluation;
 * ``bench`` — time the figure grid (serial vs parallel vs warm cache) and
-  write a ``BENCH_*.json`` perf record;
+  write a ``BENCH_*.json`` perf record; with ``--trace`` it also times a
+  traced pass and ``--max-trace-overhead`` gates the slowdown;
+* ``report`` — render a metrics snapshot produced by ``--metrics`` as
+  grouped tables (or JSON), optionally merging several snapshots;
 * ``schedule`` — compile a workload's I/O schedule and print its stats
   (and, with ``--timeline``, an ASCII view of the per-node access
   density before and after scheduling);
@@ -21,14 +24,21 @@ Seven subcommands:
 fans simulations out over N worker processes, and every finished point is
 persisted in a content-addressed cache (``--cache-dir``, default
 ``$REPRO_CACHE_DIR`` or ``.repro-cache``; disable with ``--no-cache``) so
-repeat invocations skip simulation entirely.
+repeat invocations skip simulation entirely.  Both also take ``--trace
+PATH`` (JSONL span trace of every simulated point; forces serial) and
+``--metrics PATH`` (merged metrics snapshot; per-point files are merged
+deterministically, so parallel workers are fine).
 
 Examples::
 
     python -m repro list
     python -m repro run --app sar --policy history --scheme --scale 0.1
+    python -m repro run --app sar --policy simple --scheme \\
+        --trace out.jsonl --metrics out.json
+    python -m repro report out.json --filter 'drive.*'
     python -m repro figure fig12c --scale 0.1 --jobs 4
     python -m repro bench --quick --jobs 4
+    python -m repro bench --quick --trace trace.jsonl --max-trace-overhead 0.05
     python -m repro schedule --app hf --scale 0.1 --timeline
     python -m repro verify --scale 0.1           # all six workloads
     python -m repro verify --app madbench2 --json
@@ -96,6 +106,22 @@ def _add_exec_flags(sub_parser: argparse.ArgumentParser) -> None:
         help="neither read nor write the on-disk result cache")
 
 
+def _add_obs_flags(sub_parser: argparse.ArgumentParser) -> None:
+    """Observability outputs shared by the simulating subcommands."""
+    sub_parser.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="write a JSONL span trace of every simulated point "
+        "(forces serial execution)")
+    sub_parser.add_argument(
+        "--trace-detail", action="store_true",
+        help="with --trace: also record every MPI-IO call, disk request, "
+        "network transfer and I/O-node op (roughly 20x more records)")
+    sub_parser.add_argument(
+        "--metrics", default=None, metavar="PATH",
+        help="write a merged metrics snapshot (JSON) of every simulated "
+        "point; inspect with 'repro report'")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -120,11 +146,13 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--delta", type=int, default=None)
     run_p.add_argument("--theta", type=int, default=None)
     _add_exec_flags(run_p)
+    _add_obs_flags(run_p)
 
     fig_p = sub.add_parser("figure", help="regenerate a paper table/figure")
     fig_p.add_argument("name", choices=sorted(FIGURES))
     fig_p.add_argument("--scale", type=float, default=None)
     _add_exec_flags(fig_p)
+    _add_obs_flags(fig_p)
 
     bench_p = sub.add_parser(
         "bench", help="time the figure grid and write a BENCH_*.json record"
@@ -140,6 +168,29 @@ def build_parser() -> argparse.ArgumentParser:
                          help="where to write BENCH_<stamp>.json")
     bench_p.add_argument("--no-serial", action="store_true",
                          help="skip the serial baseline pass")
+    bench_p.add_argument("--trace", default=None, metavar="PATH",
+                         help="also time a traced serial pass writing a "
+                         "JSONL trace to PATH (needs the serial baseline)")
+    bench_p.add_argument("--repeats", type=int, default=1, metavar="N",
+                         help="time each serial pass N times and keep the "
+                         "minimum (interleaved, for stable overhead "
+                         "ratios on noisy machines)")
+    bench_p.add_argument("--max-trace-overhead", type=float, default=None,
+                         metavar="FRAC",
+                         help="exit non-zero if the traced pass is more "
+                         "than FRAC slower than the untraced one "
+                         "(e.g. 0.05 = 5%%)")
+
+    report_p = sub.add_parser(
+        "report", help="render a metrics snapshot written by --metrics"
+    )
+    report_p.add_argument("paths", nargs="+", metavar="SNAPSHOT",
+                          help="snapshot file(s); several are merged")
+    report_p.add_argument("--json", action="store_true",
+                          help="emit the (merged) snapshot as JSON")
+    report_p.add_argument("--filter", default=None, metavar="GLOB",
+                          help="only metrics matching this fnmatch pattern "
+                          "(e.g. 'drive.*' or '*.energy.*')")
 
     sched_p = sub.add_parser("schedule", help="compile and inspect a schedule")
     sched_p.add_argument("--app", required=True, choices=APPS)
@@ -189,8 +240,9 @@ def _config(args) -> "ExperimentConfig":
 
 
 def _executor(args):
-    """Build (executor, cache) from the shared --jobs/--cache flags."""
+    """Build (executor, cache) from the shared --jobs/--cache/obs flags."""
     import os
+    import tempfile
 
     from .exec import ExperimentExecutor, ResultCache
 
@@ -202,7 +254,34 @@ def _executor(args):
             or ".repro-cache"
         )
         cache = ResultCache(cache_dir)
-    return ExperimentExecutor(jobs=args.jobs, cache=cache), cache
+    metrics_dir = None
+    if getattr(args, "metrics", None):
+        # Per-point snapshots land in a scratch dir; the command merges
+        # them into the single --metrics file once the grid resolves.
+        metrics_dir = tempfile.mkdtemp(prefix="repro-metrics-")
+    executor = ExperimentExecutor(
+        jobs=args.jobs,
+        cache=cache,
+        metrics_dir=metrics_dir,
+        trace_path=getattr(args, "trace", None),
+        trace_detail=getattr(args, "trace_detail", False),
+    )
+    return executor, cache
+
+
+def _finish_obs(args, executor) -> None:
+    """Merge per-point metrics into the --metrics file; announce outputs."""
+    import shutil
+
+    if executor.metrics_dir is not None:
+        from .exec import merge_metrics_dir
+        from .obs.metrics import write_snapshot
+
+        write_snapshot(merge_metrics_dir(executor.metrics_dir), args.metrics)
+        shutil.rmtree(executor.metrics_dir, ignore_errors=True)
+        print(f"[obs] metrics written to {args.metrics}", file=sys.stderr)
+    if executor.trace_path is not None:
+        print(f"[obs] trace written to {executor.trace_path}", file=sys.stderr)
 
 
 def cmd_list(_args, out) -> int:
@@ -216,18 +295,25 @@ def cmd_list(_args, out) -> int:
 
 
 def cmd_run(args, out) -> int:
-    from .exec import RunPoint
+    from .exec import ExperimentExecutor, RunPoint
 
     cfg = _config(args)
     executor, cache = _executor(args)
     runner = Runner(cfg, cache=cache)
-    executor.warm_runner(
-        runner,
-        [
-            RunPoint(args.app, "default", False, cfg),
-            RunPoint(args.app, args.policy, args.scheme, cfg),
-        ],
-    )
+    base_point = RunPoint(args.app, "default", False, cfg)
+    target_point = RunPoint(args.app, args.policy, args.scheme, cfg)
+    if executor.observed:
+        # Only the requested configuration runs instrumented: merging the
+        # baseline's gauges in (max semantics) would make the snapshot
+        # describe neither run — in particular the per-family energy
+        # gauges would no longer sum to the total exactly.
+        if target_point != base_point:
+            plain = ExperimentExecutor(jobs=args.jobs, cache=cache)
+            plain.warm_runner(runner, [base_point])
+        executor.warm_runner(runner, [target_point])
+    else:
+        executor.warm_runner(runner, [base_point, target_point])
+    _finish_obs(args, executor)
     base = runner.baseline(args.app)
     run = runner.run(args.app, args.policy, args.scheme)
     rows = [
@@ -263,6 +349,7 @@ def cmd_figure(args, out) -> int:
     executor, cache = _executor(args)
     runner = Runner(cfg, cache=cache)
     executor.warm_runner(runner, figure_points(args.name, cfg))
+    _finish_obs(args, executor)
     result = FIGURES[args.name](runner)
     print(result.text, file=out)
     stats = executor.stats
@@ -285,11 +372,17 @@ def cmd_bench(args, out) -> int:
     if unknown:
         print(f"unknown figure(s): {', '.join(unknown)}", file=sys.stderr)
         return 2
+    if args.trace and args.no_serial:
+        print("--trace needs the serial baseline (drop --no-serial)",
+              file=sys.stderr)
+        return 2
     record = run_bench(
         config=default_config(scale=scale),
         figures=tuple(figures),
         jobs=args.jobs,
         compare_serial=not args.no_serial,
+        trace_path=args.trace,
+        repeats=args.repeats,
     )
     path = write_bench_record(record, args.output_dir)
     rows = [(k, v) for k, v in record.items()
@@ -297,6 +390,39 @@ def cmd_bench(args, out) -> int:
     print(format_table(("field", "value"), rows, title="repro bench"),
           file=out)
     print(f"record written to {path}", file=out)
+    if args.max_trace_overhead is not None:
+        overhead = record.get("trace_overhead")
+        if overhead is None:
+            print("no trace_overhead in record (pass --trace)",
+                  file=sys.stderr)
+            return 2
+        if overhead > args.max_trace_overhead:
+            print(
+                f"trace overhead {overhead:.1%} exceeds the "
+                f"{args.max_trace_overhead:.1%} budget",
+                file=sys.stderr,
+            )
+            return 1
+        print(
+            f"trace overhead {overhead:.1%} within the "
+            f"{args.max_trace_overhead:.1%} budget",
+            file=out,
+        )
+    return 0
+
+
+def cmd_report(args, out) -> int:
+    from .obs.metrics import merge_snapshots, read_snapshot
+    from .obs.report import render_snapshot, render_snapshot_json
+
+    try:
+        snapshots = [read_snapshot(p) for p in args.paths]
+    except (OSError, ValueError) as exc:
+        print(f"cannot read snapshot: {exc}", file=sys.stderr)
+        return 2
+    snap = snapshots[0] if len(snapshots) == 1 else merge_snapshots(snapshots)
+    render = render_snapshot_json if args.json else render_snapshot
+    print(render(snap, pattern=args.filter), file=out)
     return 0
 
 
@@ -370,6 +496,7 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
         "run": cmd_run,
         "figure": cmd_figure,
         "bench": cmd_bench,
+        "report": cmd_report,
         "schedule": cmd_schedule,
         "verify": cmd_verify,
         "lint": cmd_lint,

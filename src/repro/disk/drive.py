@@ -120,6 +120,7 @@ class Drive:
         "_ramp_aborting",
         "ramp_settle_time",
         "policy",
+        "_tracer",
     )
 
     def __init__(
@@ -170,6 +171,7 @@ class Drive:
         self.ramp_settle_time = 0.2
 
         self.policy: Optional["PowerPolicy"] = None
+        self._tracer = sim.obs.tracer
 
     # ------------------------------------------------------------------
     # Introspection
@@ -205,6 +207,16 @@ class Drive:
         was_idle = self.is_idle
         self._queue.append(request)
         self.stats.max_queue_depth = max(self.stats.max_queue_depth, len(self._queue))
+        if self._tracer.detail:
+            self._tracer.begin(
+                "disk.request",
+                drive=self.name,
+                rid=request.req_id,
+                lba=request.lba,
+                nbytes=request.nbytes,
+                write=request.is_write,
+                qdepth=len(self._queue),
+            )
         if was_idle and self.policy is not None:
             self.policy.on_request_arrival(self.sim.now)
         self._try_start_service()
@@ -293,6 +305,15 @@ class Drive:
         else:
             stats.reads += 1
             stats.bytes_read += request.nbytes
+
+        if self._tracer.detail:
+            self._tracer.end(
+                "disk.request",
+                drive=self.name,
+                rid=request.req_id,
+                queue_delay=request.queue_delay,
+                response_time=request.response_time,
+            )
 
         if request.on_complete is not None:
             request.on_complete(request)

@@ -9,6 +9,7 @@ power models" half of the paper's methodology.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 from ..sim.trace import StateTimeline
@@ -35,14 +36,23 @@ class EnergyBreakdown:
 
     @property
     def total(self) -> float:
-        return (
-            self.active
-            + self.seek
-            + self.idle
-            + self.standby
-            + self.spin_up
-            + self.spin_down
-            + self.rpm_change
+        """Exact (correctly rounded) sum of the family buckets.
+
+        ``math.fsum`` makes the value independent of summation order, so
+        any consumer that ``fsum``\\ s the per-family numbers — in
+        whatever order a JSON snapshot hands them back — reproduces this
+        total bit for bit.
+        """
+        return math.fsum(
+            (
+                self.active,
+                self.seek,
+                self.idle,
+                self.standby,
+                self.spin_up,
+                self.spin_down,
+                self.rpm_change,
+            )
         )
 
     def add(self, other: "EnergyBreakdown") -> "EnergyBreakdown":

@@ -23,6 +23,7 @@ from .executor import (
     RunPoint,
     VerifyFailure,
     execute_point,
+    merge_metrics_dir,
 )
 from .grid import GRID_FIGURES, all_figure_points, figure_points
 from .serialize import (
@@ -43,6 +44,7 @@ __all__ = [
     "ExecStats",
     "ExperimentExecutor",
     "execute_point",
+    "merge_metrics_dir",
     "figure_points",
     "all_figure_points",
     "GRID_FIGURES",

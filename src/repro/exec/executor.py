@@ -27,13 +27,27 @@ from __future__ import annotations
 
 from concurrent.futures import FIRST_EXCEPTION, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
-from typing import Iterable, Optional, Sequence
+from pathlib import Path
+from typing import Iterable, Optional, Sequence, Union
 
 from ..experiments.config import ExperimentConfig
 from ..experiments.runner import Runner, RunResult
-from .cache import ResultCache
+from ..obs.base import Observability
+from ..obs.metrics import (
+    MetricsRegistry,
+    merge_snapshots,
+    read_snapshot,
+    write_snapshot,
+)
+from .cache import ResultCache, point_digest
 
-__all__ = ["RunPoint", "VerifyFailure", "ExecStats", "ExperimentExecutor"]
+__all__ = [
+    "RunPoint",
+    "VerifyFailure",
+    "ExecStats",
+    "ExperimentExecutor",
+    "merge_metrics_dir",
+]
 
 
 @dataclass(frozen=True)
@@ -68,9 +82,16 @@ class VerifyFailure(RuntimeError):
 
 
 def execute_point(
-    runner: Runner, point: RunPoint, verify: bool = True
+    runner: Runner,
+    point: RunPoint,
+    verify: bool = True,
+    obs: Optional[Observability] = None,
 ) -> RunResult:
-    """Verify (scheme runs) then simulate one grid point on ``runner``."""
+    """Verify (scheme runs) then simulate one grid point on ``runner``.
+
+    With an enabled ``obs`` the point runs instrumented (never from the
+    result cache — cached entries carry no telemetry).
+    """
     cfg = point.config
     if verify and point.scheme:
         from ..analysis import RuntimeModel, verify_schedule
@@ -87,9 +108,32 @@ def execute_point(
             raise VerifyFailure(
                 point.label(), report.render_text(title=point.label())
             )
+    if obs is not None and obs.enabled:
+        return runner.run_instrumented(
+            point.workload, point.policy, point.scheme, obs, config=cfg
+        )
     return runner.run(
         point.workload, point.policy, point.scheme, config=cfg
     )
+
+
+def metrics_path_for(metrics_dir: Union[str, Path], point: RunPoint) -> Path:
+    """Per-point snapshot file, named by the point's content digest so
+    concurrent workers never collide and reruns overwrite in place."""
+    digest = point_digest(
+        point.config, point.workload, point.policy, point.scheme
+    )
+    return Path(metrics_dir) / f"{digest}.metrics.json"
+
+
+def merge_metrics_dir(metrics_dir: Union[str, Path]) -> dict:
+    """Merge every per-point snapshot under ``metrics_dir`` into one.
+
+    Files are read in sorted-name order, but the merge is commutative, so
+    worker completion order can never change the result.
+    """
+    paths = sorted(Path(metrics_dir).glob("*.metrics.json"))
+    return merge_snapshots(read_snapshot(p) for p in paths)
 
 
 # ----------------------------------------------------------------------
@@ -100,11 +144,21 @@ def execute_point(
 _WORKER_RUNNER: Optional[Runner] = None
 
 
-def _worker_run(point: RunPoint, verify: bool) -> RunResult:
+def _worker_run(
+    point: RunPoint, verify: bool, metrics_dir: Optional[str] = None
+) -> RunResult:
     global _WORKER_RUNNER
     if _WORKER_RUNNER is None:
         _WORKER_RUNNER = Runner(point.config)
-    return execute_point(_WORKER_RUNNER, point, verify=verify)
+    obs = None
+    if metrics_dir is not None:
+        obs = Observability(metrics=MetricsRegistry())
+    result = execute_point(_WORKER_RUNNER, point, verify=verify, obs=obs)
+    if obs is not None:
+        write_snapshot(
+            obs.metrics.snapshot(), metrics_path_for(metrics_dir, point)
+        )
+    return result
 
 
 @dataclass
@@ -138,13 +192,37 @@ class ExperimentExecutor:
         jobs: int = 1,
         cache: Optional[ResultCache] = None,
         verify: bool = True,
+        metrics_dir: Optional[Union[str, Path]] = None,
+        trace_path: Optional[Union[str, Path]] = None,
+        trace_detail: bool = False,
     ):
+        """``metrics_dir`` makes every simulated point write a per-point
+        metrics snapshot (digest-named, safe under parallel workers);
+        merge with :func:`merge_metrics_dir`.  ``trace_path`` streams
+        span events for every point into one JSONL file — tracing forces
+        the misses serial, because interleaving concurrent runs into one
+        ordered stream would be nondeterministic.  ``trace_detail`` adds
+        per-operation records (MPI-IO calls, disk requests, network
+        transfers, I/O-node ops) to the lifecycle trace.  Either option also disables
+        result-cache *reads* (a cache hit would produce no telemetry);
+        fresh results are still written back.
+        """
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1: {jobs}")
         self.jobs = jobs
         self.cache = cache
         self.verify = verify
+        self.metrics_dir = (
+            str(metrics_dir) if metrics_dir is not None else None
+        )
+        self.trace_path = Path(trace_path) if trace_path is not None else None
+        self.trace_detail = trace_detail
         self.stats = ExecStats()
+
+    @property
+    def observed(self) -> bool:
+        """Whether this executor emits telemetry for the points it runs."""
+        return self.metrics_dir is not None or self.trace_path is not None
 
     # ------------------------------------------------------------------
     def run_points(
@@ -166,7 +244,7 @@ class ExperimentExecutor:
         misses: list[RunPoint] = []
         for point in unique:
             cached = None
-            if self.cache is not None:
+            if self.cache is not None and not self.observed:
                 cached = self.cache.lookup(
                     point.config, point.workload, point.policy, point.scheme
                 )
@@ -178,7 +256,12 @@ class ExperimentExecutor:
         self.stats.points += len(unique)
 
         if misses:
-            if self.jobs <= 1 or len(misses) == 1:
+            serial = (
+                self.jobs <= 1
+                or len(misses) == 1
+                or self.trace_path is not None
+            )
+            if serial:
                 self._run_serial(misses, results)
             else:
                 self._run_parallel(misses, results)
@@ -198,8 +281,37 @@ class ExperimentExecutor:
         self, misses: Sequence[RunPoint], results: dict[RunPoint, RunResult]
     ) -> None:
         runner = Runner(misses[0].config)
-        for point in misses:
-            results[point] = execute_point(runner, point, verify=self.verify)
+        tracer = None
+        if self.trace_path is not None:
+            from ..obs.tracer import JsonlTracer
+
+            tracer = JsonlTracer(self.trace_path, detail=self.trace_detail)
+        try:
+            for point in misses:
+                obs = None
+                if self.observed:
+                    registry = (
+                        MetricsRegistry()
+                        if self.metrics_dir is not None
+                        else None
+                    )
+                    if tracer is not None:
+                        tracer.set_context(point=point.label())
+                    obs = Observability(
+                        tracer=tracer if tracer is not None else None,
+                        metrics=registry,
+                    )
+                results[point] = execute_point(
+                    runner, point, verify=self.verify, obs=obs
+                )
+                if obs is not None and obs.metrics is not None:
+                    write_snapshot(
+                        obs.metrics.snapshot(),
+                        metrics_path_for(self.metrics_dir, point),
+                    )
+        finally:
+            if tracer is not None:
+                tracer.close()
 
     def _run_parallel(
         self, misses: Sequence[RunPoint], results: dict[RunPoint, RunResult]
@@ -207,7 +319,9 @@ class ExperimentExecutor:
         pool = ProcessPoolExecutor(max_workers=min(self.jobs, len(misses)))
         try:
             futures = {
-                pool.submit(_worker_run, point, self.verify): point
+                pool.submit(
+                    _worker_run, point, self.verify, self.metrics_dir
+                ): point
                 for point in misses
             }
             done, not_done = wait(futures, return_when=FIRST_EXCEPTION)

@@ -31,7 +31,10 @@ __all__ = [
 ]
 
 #: Cache/output schema + simulation-semantics version.
-SCHEMA_VERSION = 1
+#: 2: energy_until is now defined as the sum of the per-family breakdown
+#:    (same wattages, different float summation order), so cached energy
+#:    values from v1 are not bit-identical to fresh ones.
+SCHEMA_VERSION = 2
 
 
 def canonical_dumps(obj: Any) -> str:

@@ -17,6 +17,7 @@ from ..core.slack import SlackOptions
 from ..ir.profiling import AccessTrace, trace_program
 from ..metrics.energy import breakdown_until, fleet_energy, idle_periods_until
 from ..metrics.idle import IdleCDF, idle_cdf
+from ..obs.base import Observability
 from ..power import (
     HistoryBasedMultiSpeed,
     NoPowerManagement,
@@ -150,6 +151,60 @@ class Runner:
     # ------------------------------------------------------------------
     # Running
     # ------------------------------------------------------------------
+    def _simulate(
+        self,
+        workload: str,
+        policy: str,
+        scheme: bool,
+        cfg: ExperimentConfig,
+        obs: Optional[Observability] = None,
+    ) -> RunResult:
+        """Simulate one point unconditionally and distil its result.
+
+        ``obs`` threads an observability context into the session; the
+        distilled :class:`RunResult` is identical with or without it.
+        """
+        self.simulations += 1
+        trace = self.trace(workload, cfg)
+        compile_result = self.compilation(workload, cfg) if scheme else None
+        multispeed = policy in MULTISPEED_POLICIES
+        session = Session(
+            trace,
+            cfg.disk_spec(multispeed),
+            self._policy_factory(policy, cfg),
+            cfg.session_config(),
+            compile_result=compile_result,
+            obs=obs,
+        )
+        outcome = session.run()
+        horizon = outcome.execution_time
+        if obs is not None and obs.metrics is not None:
+            from ..obs.collect import collect_session_metrics
+
+            collect_session_metrics(obs.metrics, outcome, horizon)
+
+        periods = [
+            p for d in outcome.drives for p in idle_periods_until(d, horizon)
+        ]
+        breakdown_total: dict[str, float] = {}
+        for drive in outcome.drives:
+            for state, joules in breakdown_until(drive, horizon).as_dict().items():
+                breakdown_total[state] = breakdown_total.get(state, 0.0) + joules
+
+        return RunResult(
+            workload=workload,
+            policy=policy,
+            scheme=scheme,
+            execution_time=horizon,
+            energy_joules=fleet_energy(outcome.drives, horizon),
+            idle_cdf=idle_cdf(periods),
+            idle_periods=periods,
+            energy_breakdown=breakdown_total,
+            buffer_hits=outcome.buffer.hits if outcome.buffer else 0,
+            prefetches=outcome.buffer.total_prefetches if outcome.buffer else 0,
+            accesses=len(compile_result.accesses) if compile_result else 0,
+        )
+
     def run(
         self,
         workload: str,
@@ -168,42 +223,32 @@ class Runner:
                 self._runs[key] = cached
                 return cached
 
-        self.simulations += 1
-        trace = self.trace(workload, cfg)
-        compile_result = self.compilation(workload, cfg) if scheme else None
-        multispeed = policy in MULTISPEED_POLICIES
-        session = Session(
-            trace,
-            cfg.disk_spec(multispeed),
-            self._policy_factory(policy, cfg),
-            cfg.session_config(),
-            compile_result=compile_result,
-        )
-        outcome = session.run()
-        horizon = outcome.execution_time
-
-        periods = [
-            p for d in outcome.drives for p in idle_periods_until(d, horizon)
-        ]
-        breakdown_total: dict[str, float] = {}
-        for drive in outcome.drives:
-            for state, joules in breakdown_until(drive, horizon).as_dict().items():
-                breakdown_total[state] = breakdown_total.get(state, 0.0) + joules
-
-        result = RunResult(
-            workload=workload,
-            policy=policy,
-            scheme=scheme,
-            execution_time=horizon,
-            energy_joules=fleet_energy(outcome.drives, horizon),
-            idle_cdf=idle_cdf(periods),
-            idle_periods=periods,
-            energy_breakdown=breakdown_total,
-            buffer_hits=outcome.buffer.hits if outcome.buffer else 0,
-            prefetches=outcome.buffer.total_prefetches if outcome.buffer else 0,
-            accesses=len(compile_result.accesses) if compile_result else 0,
-        )
+        result = self._simulate(workload, policy, scheme, cfg)
         self._runs[key] = result
+        if self.cache is not None:
+            self.cache.store(cfg, workload, policy, scheme, result)
+        return result
+
+    def run_instrumented(
+        self,
+        workload: str,
+        policy: str,
+        scheme: bool,
+        obs: Observability,
+        config: Optional[ExperimentConfig] = None,
+    ) -> RunResult:
+        """Simulate one point under an observability context.
+
+        Never served from the memo table or the disk cache — a cached
+        result carries no trace events and no metrics, so an instrumented
+        request must actually run.  The fresh result *is* written back to
+        both, and is bit-identical to an uninstrumented run's.
+        """
+        cfg = config or self.config
+        if obs is None or not isinstance(obs, Observability):
+            raise TypeError("run_instrumented requires an Observability")
+        result = self._simulate(workload, policy, scheme, cfg, obs=obs)
+        self._runs[(workload, policy, scheme, cfg.to_key())] = result
         if self.cache is not None:
             self.cache.store(cfg, workload, policy, scheme, result)
         return result

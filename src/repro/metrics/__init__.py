@@ -7,6 +7,8 @@ from .energy import (
     energy_until,
     fleet_energy,
     idle_periods_until,
+    residency_until,
+    transition_counts_until,
 )
 from .idle import PAPER_BUCKETS_MS, IdleCDF, clip_periods, idle_cdf
 from .perf import PerfComparison, degradation, improvement
@@ -17,6 +19,8 @@ __all__ = [
     "breakdown_until",
     "fleet_energy",
     "idle_periods_until",
+    "residency_until",
+    "transition_counts_until",
     "EnergyComparison",
     "idle_cdf",
     "IdleCDF",

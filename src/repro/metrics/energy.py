@@ -11,7 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..disk.drive import Drive
-from ..disk.power import DiskPowerModel, EnergyBreakdown
+from ..disk.power import EnergyBreakdown
 from ..disk import states as st
 from ..sim.trace import Interval
 
@@ -20,6 +20,8 @@ __all__ = [
     "breakdown_until",
     "fleet_energy",
     "idle_periods_until",
+    "residency_until",
+    "transition_counts_until",
     "EnergyComparison",
 ]
 
@@ -34,17 +36,25 @@ def _clipped_intervals(drive: Drive, horizon: float):
 
 
 def energy_until(drive: Drive, horizon: float) -> float:
-    """Joules consumed by one drive in ``[0, horizon]``."""
-    model = drive.power_model
-    return sum(
-        model.power_of(iv.state) * iv.duration
-        for iv in _clipped_intervals(drive, horizon)
-    )
+    """Joules consumed by one drive in ``[0, horizon]``.
+
+    Defined as the total of :func:`breakdown_until` so the two can never
+    disagree — summing the per-family buckets (rather than re-integrating
+    interval by interval) makes ``sum(breakdown) == energy_until`` exact,
+    not approximate.
+    """
+    return breakdown_until(drive, horizon).total
 
 
 def breakdown_until(drive: Drive, horizon: float) -> EnergyBreakdown:
-    """Per-state-family joules in ``[0, horizon]``."""
-    model = DiskPowerModel(drive.spec)
+    """Per-state-family joules in ``[0, horizon]``.
+
+    Uses the drive's *attached* power model — a drive carrying a
+    customized model must break down under the same wattages it
+    integrates under, or per-state numbers silently disagree with
+    :func:`energy_until`.
+    """
+    model = drive.power_model
     result = EnergyBreakdown()
     for iv in _clipped_intervals(drive, horizon):
         joules = model.power_of(iv.state) * iv.duration
@@ -64,6 +74,42 @@ def breakdown_until(drive: Drive, horizon: float) -> EnergyBreakdown:
         else:
             result.rpm_change += joules
     return result
+
+
+def _family(state: str) -> str:
+    """Base state family, with both ramp directions folded into
+    ``rpm_change`` so residency keys match the energy-breakdown keys."""
+    base = st.base_state(state)
+    if base in ("rpm_up", "rpm_down"):
+        return st.RPM_CHANGE
+    return base
+
+
+def residency_until(drive: Drive, horizon: float) -> dict[str, float]:
+    """Seconds spent per base state family in ``[0, horizon]``.
+
+    The continuous-observation quantity the observability layer reports:
+    how long the drive sat in each of idle/standby/seek/… regardless of
+    the RPM level encoded in the state label.
+    """
+    out: dict[str, float] = {}
+    for iv in _clipped_intervals(drive, horizon):
+        family = _family(iv.state)
+        out[family] = out.get(family, 0.0) + iv.duration
+    return out
+
+
+def transition_counts_until(drive: Drive, horizon: float) -> dict[str, int]:
+    """How many times the drive *entered* each base state family in
+    ``[0, horizon]`` (consecutive same-family intervals count once)."""
+    out: dict[str, int] = {}
+    prev: str | None = None
+    for iv in _clipped_intervals(drive, horizon):
+        family = _family(iv.state)
+        if family != prev:
+            out[family] = out.get(family, 0) + 1
+            prev = family
+    return out
 
 
 def fleet_energy(drives: list[Drive], horizon: float) -> float:

@@ -47,6 +47,11 @@ class Link:
         self.name = name
         self._busy_until = 0.0
         self.stats = NetworkStats()
+        self._tracer = sim.obs.tracer
+        #: Optional per-transfer queue-delay histogram (seconds), attached
+        #: by the session when a metrics registry is live.  ``None`` keeps
+        #: the hot path at a single attribute check.
+        self.delay_hist = None
 
     def transfer_time(self, nbytes: int) -> float:
         """Unloaded service time for ``nbytes``."""
@@ -63,7 +68,17 @@ class Link:
         self._busy_until = start + service
         self.stats.transfers += 1
         self.stats.bytes_moved += nbytes
-        self.stats.total_queue_delay += start - now
+        queue_delay = start - now
+        self.stats.total_queue_delay += queue_delay
+        if self.delay_hist is not None:
+            self.delay_hist.observe(queue_delay)
+        if self._tracer.detail:
+            self._tracer.event(
+                "net.transfer",
+                link=self.name,
+                nbytes=nbytes,
+                queue_delay=queue_delay,
+            )
         self.sim.schedule(finish - now, on_complete)
 
 

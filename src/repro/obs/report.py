@@ -1,0 +1,107 @@
+"""Render a metrics snapshot for humans (`repro report`).
+
+Snapshots are flat name → value maps; rendering groups instruments by
+their first dot-separated segment so one run reads as a stack of small
+tables (drive, buffer, cache, net, …) instead of one 200-row dump.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import json
+from typing import Any, Optional
+
+from ..metrics.report import format_table
+
+__all__ = ["render_snapshot", "render_snapshot_json"]
+
+
+def _group_of(name: str) -> str:
+    return name.split(".", 1)[0]
+
+
+def _fmt_value(value: Any) -> str:
+    if isinstance(value, int):
+        return str(value)
+    if value == 0:
+        return "0"
+    if abs(value) >= 1e-3:
+        return f"{value:.6g}"
+    return f"{value:.4e}"
+
+
+def _hist_row(name: str, h: dict[str, Any]) -> list[str]:
+    count = h["count"]
+    mean = h["total"] / count if count else 0.0
+    overflow = h["counts"][-1]
+    return [name, str(count), _fmt_value(mean), str(overflow)]
+
+
+def render_snapshot(
+    snapshot: dict[str, Any], pattern: Optional[str] = None
+) -> str:
+    """Render a snapshot as grouped ASCII tables.
+
+    ``pattern`` is an optional ``fnmatch`` glob filter on metric names
+    (e.g. ``'drive.*'`` or ``'*.energy.*'``).
+    """
+
+    def keep(name: str) -> bool:
+        return pattern is None or fnmatch.fnmatch(name, pattern)
+
+    sections: list[str] = []
+    runs = snapshot.get("merged_runs")
+    header = f"metrics snapshot (schema {snapshot.get('schema')})"
+    if runs is not None:
+        header += f", merged from {runs} run(s)"
+    sections.append(header)
+
+    scalars: dict[str, list[list[str]]] = {}
+    for name, value in snapshot.get("counters", {}).items():
+        if keep(name):
+            scalars.setdefault(_group_of(name), []).append(
+                [name, "counter", _fmt_value(value)]
+            )
+    for name, value in snapshot.get("gauges", {}).items():
+        if keep(name):
+            scalars.setdefault(_group_of(name), []).append(
+                [name, "gauge", _fmt_value(value)]
+            )
+    for group in sorted(scalars):
+        rows = sorted(scalars[group], key=lambda r: r[0])
+        sections.append(
+            format_table(
+                ["metric", "kind", "value"], rows, title=f"[{group}]"
+            )
+        )
+
+    hist_rows = [
+        _hist_row(name, h)
+        for name, h in sorted(snapshot.get("histograms", {}).items())
+        if keep(name)
+    ]
+    if hist_rows:
+        sections.append(
+            format_table(
+                ["histogram", "count", "mean", "overflow"],
+                hist_rows,
+                title="[histograms]",
+            )
+        )
+    return "\n\n".join(sections)
+
+
+def render_snapshot_json(
+    snapshot: dict[str, Any], pattern: Optional[str] = None
+) -> str:
+    """The snapshot (optionally name-filtered) as indented JSON."""
+    if pattern is not None:
+        snapshot = {
+            key: (
+                {n: v for n, v in val.items() if fnmatch.fnmatch(n, pattern)}
+                if key in ("counters", "gauges", "histograms")
+                else val
+            )
+            for key, val in snapshot.items()
+        }
+    return json.dumps(snapshot, indent=2, sort_keys=True)

@@ -31,6 +31,10 @@ class EntryState(Enum):
     FETCHING = "fetching"
     READY = "ready"
     CONSUMED = "consumed"
+    #: Abandoned while the prefetch I/O was still in flight: the blocks
+    #: stay reserved until the I/O lands (freeing them early would let the
+    #: buffer oversubscribe its capacity for the remainder of the fetch).
+    ABANDONED = "abandoned"
 
 
 @dataclass
@@ -58,6 +62,9 @@ class GlobalBuffer:
         self.total_prefetches = 0
         self.hits = 0
         self.misses = 0
+        self.abandoned = 0
+        self.abandoned_in_flight = 0
+        self._tracer = sim.obs.tracer
 
     # ------------------------------------------------------------------
     @property
@@ -101,11 +108,27 @@ class GlobalBuffer:
         return entry
 
     def complete_fetch(self, aid: int) -> None:
-        """The prefetch I/O finished; wake any consumer waiting on it."""
+        """The prefetch I/O finished; wake any consumer waiting on it.
+
+        If the entry was abandoned mid-flight, the landing I/O is the
+        moment its reservation actually frees: release the blocks and wake
+        stalled scheduler threads instead of publishing the data.
+        """
         entry = self._entries[aid]
+        if entry.state is EntryState.ABANDONED:
+            self.abandoned_in_flight -= 1
+            entry.state = EntryState.CONSUMED
+            self._used_blocks -= entry.blocks
+            self.sim.fire(self.space_freed)
+            self.space_freed.reset()
+            return
         if entry.state is not EntryState.FETCHING:
             raise ValueError(f"access {aid} is not fetching ({entry.state})")
         entry.state = EntryState.READY
+        if self._tracer.enabled:
+            # Closes the "access.fetch" span the scheduler thread opened:
+            # this record *is* the data-ready moment of the lifecycle.
+            self._tracer.end("access.fetch", aid=aid, blocks=entry.blocks)
         self.sim.fire(entry.ready)
 
     # ------------------------------------------------------------------
@@ -114,7 +137,10 @@ class GlobalBuffer:
     def lookup(self, aid: int) -> Optional[BufferEntry]:
         """The entry for an access, if the scheduler ever started it."""
         entry = self._entries.get(aid)
-        if entry is not None and entry.state is not EntryState.CONSUMED:
+        if entry is not None and entry.state in (
+            EntryState.FETCHING,
+            EntryState.READY,
+        ):
             return entry
         return None
 
@@ -134,9 +160,24 @@ class GlobalBuffer:
 
     def abandon(self, aid: int) -> None:
         """Release an entry that will never be consumed (e.g. the app
-        already read it synchronously) — frees the space."""
+        already read it synchronously).
+
+        A READY entry frees its blocks immediately.  A still-FETCHING
+        entry only *marks* itself abandoned: the reservation is released
+        by :meth:`complete_fetch` when the in-flight I/O lands — freeing
+        it here would transiently oversubscribe capacity and make the
+        completion callback blow up on an already-consumed entry.
+        """
         entry = self._entries.get(aid)
-        if entry is None or entry.state is EntryState.CONSUMED:
+        if entry is None or entry.state in (
+            EntryState.CONSUMED,
+            EntryState.ABANDONED,
+        ):
+            return
+        self.abandoned += 1
+        if entry.state is EntryState.FETCHING:
+            entry.state = EntryState.ABANDONED
+            self.abandoned_in_flight += 1
             return
         entry.state = EntryState.CONSUMED
         self._used_blocks -= entry.blocks

@@ -63,6 +63,7 @@ class ClientProcess:
         self.buffer = buffer
         self.accesses_by_seq = accesses_by_seq or {}
         self.stats = ClientStats()
+        self._tracer = sim.obs.tracer
         self._ios_by_slot: dict[int, list] = {}
         for io in trace.ios:
             self._ios_by_slot.setdefault(io.slot, []).append(io)
@@ -102,17 +103,42 @@ class ClientProcess:
             access = self.accesses_by_seq.get(io.seq)
             if access is not None:
                 entry = self.buffer.lookup(access.aid)
+        tracer = self._tracer
         if entry is None:
             # Not prefetched (scheme off, access not moved, or the
             # scheduler never got to it): synchronous read.
             self.stats.reads_synchronous += 1
             yield self.mpi_io.read(io.file, io.block, io.blocks)
+            if tracer.enabled:
+                tracer.event(
+                    "access.consumed",
+                    process=self.process_id,
+                    seq=io.seq,
+                    source="sync",
+                    wait=self.sim.now - started,
+                )
         elif entry.state is EntryState.READY:
             self.stats.reads_from_buffer += 1
             self.buffer.consume(entry.aid)
+            if tracer.enabled:
+                tracer.event(
+                    "access.consumed",
+                    process=self.process_id,
+                    aid=entry.aid,
+                    source="buffer",
+                    wait=0.0,
+                )
         else:
             # In flight: wait for the prefetch to land, then consume.
             self.stats.reads_waited_on_prefetch += 1
             yield entry.ready
             self.buffer.consume(entry.aid)
+            if tracer.enabled:
+                tracer.event(
+                    "access.consumed",
+                    process=self.process_id,
+                    aid=entry.aid,
+                    source="wait",
+                    wait=self.sim.now - started,
+                )
         self.stats.io_wait_time += self.sim.now - started

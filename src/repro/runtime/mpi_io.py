@@ -9,6 +9,7 @@ that fires on completion, so simulation processes just ``yield`` them.
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass
 
 from ..net.network import Network
@@ -55,6 +56,8 @@ class MPIIO:
         self.network = network
         self.block_bytes = dict(block_bytes)
         self.stats = IOStats()
+        self._tracer = sim.obs.tracer
+        self._rids = itertools.count()
 
     # ------------------------------------------------------------------
     def _extents(self, file: StripedFile, block: int, blocks: int, name: str):
@@ -85,8 +88,23 @@ class MPIIO:
         self.stats.bytes_read += sum(e.size for e in extents)
         pending = {"n": len(extents)}
 
+        tracer = self._tracer
+        rid = -1
+        if tracer.detail:
+            rid = next(self._rids)
+            tracer.begin(
+                "io.read",
+                rid=rid,
+                file=name,
+                block=block,
+                blocks=blocks,
+                nodes=len(extents),
+            )
+
         def finish() -> None:
             self.stats.total_read_latency += self.sim.now - issued_at
+            if tracer.detail:
+                tracer.end("io.read", rid=rid, latency=self.sim.now - issued_at)
             self.sim.fire(done)
 
         if not extents:
@@ -124,13 +142,33 @@ class MPIIO:
         self.stats.bytes_written += sum(e.size for e in extents)
         pending = {"n": len(extents)}
 
+        tracer = self._tracer
+        rid = -1
+        if tracer.detail:
+            rid = next(self._rids)
+            tracer.begin(
+                "io.write",
+                rid=rid,
+                file=name,
+                block=block,
+                blocks=blocks,
+                nodes=len(extents),
+            )
+
         def one_done() -> None:
             pending["n"] -= 1
             if pending["n"] == 0:
+                if tracer.detail:
+                    tracer.end("io.write", rid=rid)
                 self.sim.fire(done)
 
         if not extents:
-            self.sim.schedule(0.0, lambda: self.sim.fire(done))
+            def finish_empty() -> None:
+                if tracer.detail:
+                    tracer.end("io.write", rid=rid)
+                self.sim.fire(done)
+
+            self.sim.schedule(0.0, finish_empty)
             return done
 
         for ext in extents:

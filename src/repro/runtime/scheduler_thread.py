@@ -66,12 +66,19 @@ def will_prefetch(original_slot: int, scheduled_slot: int, min_lead: int) -> boo
 
 @dataclass
 class SchedulerThreadStats:
-    """Per-thread prefetch accounting."""
+    """Per-thread prefetch accounting.
+
+    The two ``*_time`` fields break the thread's waiting down by reason —
+    the tail-latency attribution the observability layer reports (how long
+    schedulers sat on a full buffer versus an unfinished producer).
+    """
 
     prefetches_issued: int = 0
     prefetches_skipped_late: int = 0
     producer_waits: int = 0
     buffer_stalls: int = 0
+    buffer_stall_time: float = 0.0
+    producer_wait_time: float = 0.0
 
 
 class SchedulerThread:
@@ -109,6 +116,7 @@ class SchedulerThread:
         self.min_lead = min_lead
         self.batch_slots = batch_slots
         self.stats = SchedulerThreadStats()
+        self._tracer = sim.obs.tracer
 
     # ------------------------------------------------------------------
     def run(self):
@@ -134,24 +142,46 @@ class SchedulerThread:
             yield window, grouped[window]
 
     def _prefetch(self, access):
+        tracer = self._tracer
+        if tracer.enabled:
+            tracer.event(
+                "access.scheduled",
+                aid=access.aid,
+                process=self.process_id,
+                slot=access.scheduled_slot,
+                original_slot=access.original_slot,
+            )
+
         # Correctness: wait for the producer to pass its write slot.
         producer = access.producer
         if producer is not None:
             slot_w, proc_w = producer
             if self.clocks.time_of(proc_w) <= slot_w:
                 self.stats.producer_waits += 1
-            yield from self.clocks.wait_until(proc_w, slot_w + 1)
+                waited_from = self.sim.now
+                yield from self.clocks.wait_until(proc_w, slot_w + 1)
+                self.stats.producer_wait_time += self.sim.now - waited_from
+            else:
+                yield from self.clocks.wait_until(proc_w, slot_w + 1)
 
         # Flow control: stall while the buffer is full.
         while not self.buffer.has_room(access.blocks):
             self.stats.buffer_stalls += 1
+            stalled_from = self.sim.now
             yield self.buffer.space_freed
+            self.stats.buffer_stall_time += self.sim.now - stalled_from
 
         # The application may have already reached (or passed) the original
         # iteration while we were stalled — issuing the prefetch now would
         # be pure overhead; the process reads synchronously instead.
         if self.clocks.time_of(self.process_id) >= access.original_slot:
             self.stats.prefetches_skipped_late += 1
+            if tracer.enabled:
+                tracer.event(
+                    "access.skipped_late",
+                    aid=access.aid,
+                    process=self.process_id,
+                )
             return
 
         # Issue asynchronously (MPI-IO non-blocking read): the thread moves
@@ -160,6 +190,13 @@ class SchedulerThread:
         # the buffer entry via callback.
         entry = self.buffer.begin_fetch(access.aid, access.blocks)
         self.stats.prefetches_issued += 1
+        if tracer.enabled:
+            tracer.begin(
+                "access.fetch",
+                aid=access.aid,
+                process=self.process_id,
+                blocks=access.blocks,
+            )
         done = self.mpi_io.read(access.file, access.block, access.blocks)
         aid = entry.aid
         done.add_waiter(lambda _v: self.buffer.complete_fetch(aid))

@@ -18,6 +18,7 @@ from ..core.table import ScheduleBook
 from ..disk.specs import DiskSpec
 from ..ir.profiling import AccessTrace
 from ..net.network import Network
+from ..obs.base import NULL_OBS, Observability
 from ..power.policy import PowerPolicy
 from ..sim.engine import Simulator
 from ..storage.filesystem import ParallelFileSystem
@@ -60,6 +61,7 @@ class SessionResult:
     clients: list[ClientProcess]
     scheduler_threads: list[SchedulerThread]
     buffer: Optional[GlobalBuffer]
+    sim: Optional[Simulator] = None
 
     @property
     def client_finish_times(self) -> list[float]:
@@ -76,12 +78,18 @@ class Session:
         policy_factory: Optional[Callable[[], PowerPolicy]],
         config: SessionConfig = SessionConfig(),
         compile_result: Optional[CompileResult] = None,
+        obs: Optional[Observability] = None,
     ):
         """``compile_result`` turns the software scheme on: its schedule
-        book drives one scheduler thread per client."""
+        book drives one scheduler thread per client.  ``obs`` attaches an
+        observability context (tracer and/or metrics registry); the
+        default is the shared null context — zero instrumentation cost.
+        """
         self.trace = trace
         self.config = config
-        self.sim = Simulator()
+        self.obs = obs if obs is not None else NULL_OBS
+        self.sim = Simulator(obs=self.obs)
+        self.obs.tracer.bind_clock(self.sim)
         self.pfs = ParallelFileSystem.build(
             self.sim,
             n_nodes=config.n_ionodes,
@@ -103,6 +111,16 @@ class Session:
             latency=config.network_latency,
             bandwidth_bps=config.network_bandwidth_bps,
         )
+        if self.obs.metrics is not None:
+            # Per-link queue-delay histograms are the one metric that must
+            # be sampled per transfer; wire them only when a registry is
+            # attached so the untracked hot path stays a None check.
+            from ..obs.collect import LINK_DELAY_BOUNDS_S
+
+            for i, link in enumerate(self.network.links):
+                link.delay_hist = self.obs.metrics.histogram(
+                    f"net.link{i}.queue_delay_s", LINK_DELAY_BOUNDS_S
+                )
         block_bytes = {
             name: decl.block_bytes for name, decl in trace.program.files.items()
         }
@@ -191,4 +209,5 @@ class Session:
             clients=self.clients,
             scheduler_threads=self.scheduler_threads,
             buffer=self.buffer,
+            sim=self.sim,
         )

@@ -14,6 +14,7 @@ from __future__ import annotations
 import heapq
 from typing import Any, Callable, Generator, Iterable, Optional
 
+from ..obs.base import NULL_OBS, Observability
 from .events import AllOf, AnyOf, Event, Signal, Timeout
 
 __all__ = ["Simulator", "SimProcess"]
@@ -124,14 +125,26 @@ class Simulator:
     :attr:`pending_events` O(1) and bound the garbage the heap can carry.
     """
 
-    __slots__ = ("now", "_heap", "_processes", "_events_executed", "_canceled")
+    __slots__ = (
+        "now",
+        "obs",
+        "_heap",
+        "_processes",
+        "_events_executed",
+        "_canceled",
+    )
 
     #: Compact the heap when this many canceled entries have accumulated
     #: *and* they outnumber the live ones (amortized O(1) per cancel).
     _COMPACT_MIN = 64
 
-    def __init__(self) -> None:
+    def __init__(self, obs: Optional[Observability] = None) -> None:
         self.now: float = 0.0
+        #: The session's observability context.  Components cache
+        #: ``sim.obs.tracer`` at construction; the default is the shared
+        #: null context, so an unobserved simulation stays exactly as
+        #: cheap as before the observability layer existed.
+        self.obs = obs if obs is not None else NULL_OBS
         self._heap: list[tuple[float, int, Event]] = []
         self._processes: list[SimProcess] = []
         self._events_executed = 0

@@ -17,13 +17,20 @@ __all__ = ["CacheStats", "StorageCache"]
 
 @dataclass
 class CacheStats:
-    """Hit/miss/eviction counters for one cache."""
+    """Hit/miss/eviction counters for one cache.
+
+    The accounting identity every code path preserves (and
+    ``tests/test_storage_cache.py`` checks) is::
+
+        insertions == evictions + invalidations + resident blocks
+    """
 
     hits: int = 0
     misses: int = 0
     insertions: int = 0
     evictions: int = 0
     dirty_evictions: int = 0
+    invalidations: int = 0
 
     @property
     def accesses(self) -> int:
@@ -78,7 +85,14 @@ class StorageCache:
         """Insert (or re-dirty) a block.  Returns the *dirty* blocks evicted
         to make room — the caller must flush those to disk."""
         if self.capacity_blocks == 0:
-            # Degenerate cache: a dirty insert must be flushed immediately.
+            # Degenerate cache: the block passes straight through —
+            # counted as an insertion immediately evicted, so stats-based
+            # reports see the traffic instead of a silent hole.
+            self.stats.insertions += 1
+            self.stats.evictions += 1
+            if dirty:
+                self.stats.dirty_evictions += 1
+            # A dirty insert must be flushed immediately.
             return [block] if dirty else []
         if block in self._blocks:
             self._blocks[block] = self._blocks[block] or dirty
@@ -98,7 +112,10 @@ class StorageCache:
     def invalidate(self, block: int) -> bool:
         """Drop a block (e.g. consumed-once data).  Returns whether it was
         present and dirty (caller must flush if so)."""
-        dirty = self._blocks.pop(block, False)
+        if block not in self._blocks:
+            return False
+        dirty = self._blocks.pop(block)
+        self.stats.invalidations += 1
         return bool(dirty)
 
     def mark_clean(self, block: int) -> None:

@@ -63,6 +63,7 @@ class IONode:
         self.stats = IONodeStats()
         self._destage_timer: Optional[Event] = None
         self._last_read_block = -2
+        self._tracer = sim.obs.tracer
 
     # ------------------------------------------------------------------
     # Read path
@@ -77,6 +78,14 @@ class IONode:
         blocks = self.cache.blocks_of(node_offset, size)
         missing = [b for b in blocks if not self.cache.lookup(b)]
         self.stats.read_hits += len(blocks) - len(missing)
+        if self._tracer.detail:
+            self._tracer.event(
+                "ionode.read",
+                node=self.node_id,
+                nbytes=size,
+                blocks=len(blocks),
+                misses=len(missing),
+            )
         sequential = bool(blocks) and blocks[0] in (
             self._last_read_block,
             self._last_read_block + 1,
@@ -120,6 +129,8 @@ class IONode:
         arm the destage timer."""
         self.stats.writes += 1
         self.stats.bytes_written += size
+        if self._tracer.detail:
+            self._tracer.event("ionode.write", node=self.node_id, nbytes=size)
         for block in self.cache.blocks_of(node_offset, size):
             flush = self.cache.insert(block, dirty=True)
             self._flush_blocks(flush)

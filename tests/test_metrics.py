@@ -1,5 +1,7 @@
 """Tests for the metrics layer."""
 
+import math
+
 import pytest
 
 from repro.metrics import (
@@ -17,6 +19,8 @@ from repro.metrics import (
     idle_cdf,
     idle_periods_until,
     improvement,
+    residency_until,
+    transition_counts_until,
 )
 
 from conftest import make_drive, submit_read
@@ -90,9 +94,41 @@ class TestEnergyClipping:
         drive.finalize()
         horizon = sim.now
         breakdown = breakdown_until(drive, horizon)
-        assert breakdown.total == pytest.approx(energy_until(drive, horizon))
+        # Exact, not approximate: energy_until is defined as the total of
+        # the breakdown, and total is an order-independent fsum, so the
+        # identity survives JSON round-trips and re-summation.
+        assert breakdown.total == energy_until(drive, horizon)
+        families = breakdown.as_dict()
+        assert families.pop("total") == math.fsum(sorted(families.values()))
         assert breakdown.standby > 0
         assert breakdown.spin_up > 0
+
+    def test_breakdown_uses_attached_power_model(self, sim):
+        """Regression: breakdown_until used to rebuild a fresh
+        DiskPowerModel from drive.spec, so a drive carrying a customized
+        model broke down under different wattages than it integrated
+        under and sum(breakdown) != energy_until."""
+        drive = make_drive(sim)
+        submit_read(sim, drive, 0.0)
+        sim.schedule(1.0, drive.spin_down)
+        submit_read(sim, drive, 30.0)
+        sim.run()
+        drive.finalize()
+        horizon = sim.now
+        base = breakdown_until(drive, horizon)
+
+        class DoubledModel:
+            def __init__(self, inner):
+                self.inner = inner
+
+            def power_of(self, state):
+                return 2.0 * self.inner.power_of(state)
+
+        drive.power_model = DoubledModel(drive.power_model)
+        doubled = breakdown_until(drive, horizon)
+        assert doubled.total == energy_until(drive, horizon)
+        assert doubled.total == pytest.approx(2.0 * base.total)
+        assert doubled.standby == pytest.approx(2.0 * base.standby)
 
     def test_fleet_energy_sums(self, sim):
         drives = [make_drive(sim) for _ in range(3)]
@@ -111,6 +147,45 @@ class TestEnergyClipping:
         drive.finalize()
         clipped = idle_periods_until(drive, 5.0)
         assert all(p <= 5.0 for p in clipped)
+
+
+class TestResidency:
+    FAMILIES = {
+        "active_read", "active_write", "seek", "idle", "standby",
+        "spin_up", "spin_down", "rpm_change",
+    }
+
+    def _exercised_drive(self, sim):
+        drive = make_drive(sim)
+        submit_read(sim, drive, 0.0)
+        sim.schedule(1.0, drive.spin_down)
+        submit_read(sim, drive, 30.0)
+        sim.run()
+        drive.finalize()
+        return drive, sim.now
+
+    def test_residency_partitions_horizon(self, sim):
+        drive, horizon = self._exercised_drive(sim)
+        res = residency_until(drive, horizon)
+        assert set(res) <= self.FAMILIES
+        assert math.fsum(res.values()) == pytest.approx(horizon)
+        assert res["standby"] > 0
+
+    def test_transition_counts_families(self, sim):
+        drive, horizon = self._exercised_drive(sim)
+        counts = transition_counts_until(drive, horizon)
+        assert set(counts) <= self.FAMILIES
+        assert counts["spin_up"] == 1
+        assert counts["spin_down"] == 1
+        # At least the idle stretch between the first read and spin-down.
+        assert counts["idle"] >= 1
+
+    def test_transition_counts_merge_consecutive_intervals(self, sim):
+        # An untouched drive's timeline is one idle stretch: one entry.
+        drive = make_drive(sim)
+        sim.run(until=10.0)
+        drive.finalize()
+        assert transition_counts_until(drive, 10.0) == {"idle": 1}
 
 
 class TestComparisons:

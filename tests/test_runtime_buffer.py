@@ -93,13 +93,59 @@ class TestConsumption:
         buf.complete_fetch(0)
         assert buf.lookup(0) is entry
 
-    def test_abandon_frees_space_idempotently(self, sim):
+    def test_abandon_ready_entry_frees_space_idempotently(self, sim):
         buf = GlobalBuffer(sim, 2)
         buf.begin_fetch(0, 2)
+        buf.complete_fetch(0)
         buf.abandon(0)
         buf.abandon(0)
         assert buf.used_blocks == 0
         assert buf.lookup(0) is None
+        assert buf.abandoned == 1
+
+    def test_abandon_in_flight_defers_release_until_io_lands(self, sim):
+        """Regression: abandoning a still-FETCHING entry used to free its
+        blocks immediately (transient capacity oversubscription) and make
+        the later completion callback raise ValueError."""
+        buf = GlobalBuffer(sim, 2)
+        buf.begin_fetch(0, 2)
+        buf.abandon(0)
+        # Space stays reserved while the prefetch I/O is in flight.
+        assert buf.used_blocks == 2
+        assert not buf.has_room(1)
+        assert buf.abandoned_in_flight == 1
+        assert buf.lookup(0) is None
+        # The landing I/O releases the reservation instead of raising.
+        buf.complete_fetch(0)
+        assert buf.used_blocks == 0
+        assert buf.abandoned_in_flight == 0
+
+    def test_abandon_in_flight_wakes_space_waiters_on_landing(self, sim):
+        buf = GlobalBuffer(sim, 1)
+        buf.begin_fetch(0, 1)
+        buf.abandon(0)
+        woken = []
+
+        def stalled():
+            while not buf.has_room(1):
+                yield buf.space_freed
+            woken.append(sim.now)
+
+        sim.process(stalled())
+        sim.schedule(3.0, buf.complete_fetch, 0)
+        sim.run()
+        assert woken == [3.0]
+
+    def test_abandon_in_flight_is_idempotent(self, sim):
+        buf = GlobalBuffer(sim, 2)
+        buf.begin_fetch(0, 2)
+        buf.abandon(0)
+        buf.abandon(0)
+        assert buf.abandoned == 1
+        assert buf.abandoned_in_flight == 1
+        buf.complete_fetch(0)
+        buf.abandon(0)  # already consumed: no-op
+        assert buf.used_blocks == 0
 
     def test_peak_used_tracked(self, sim):
         buf = GlobalBuffer(sim, 8)

@@ -147,3 +147,56 @@ class TestDirty:
         c.lookup(1)
         c.lookup(2)
         assert c.stats.hit_rate == pytest.approx(0.5)
+
+
+class TestStatsAccounting:
+    """Every insert/evict/invalidate path must keep the identity
+    ``insertions == evictions + invalidations + resident blocks``."""
+
+    @staticmethod
+    def check_identity(c):
+        assert c.stats.insertions == (
+            c.stats.evictions + c.stats.invalidations + len(c)
+        )
+
+    def test_zero_capacity_insert_is_counted(self):
+        """Regression: the pass-through path of a zero-capacity cache used
+        to skip the insertion counter entirely, so stats-based hit/traffic
+        reports saw no traffic at all."""
+        c = StorageCache(0, 64 * KB)
+        c.insert(5, dirty=False)
+        c.insert(6, dirty=True)
+        assert c.stats.insertions == 2
+        assert c.stats.evictions == 2
+        assert c.stats.dirty_evictions == 1
+        self.check_identity(c)
+
+    def test_invalidate_is_counted(self):
+        """Regression: invalidate() used to drop blocks without counting,
+        leaving insertions > evictions + resident blocks."""
+        c = make_cache(capacity_blocks=4)
+        c.insert(1, dirty=True)
+        c.insert(2)
+        assert c.invalidate(1) is True
+        assert c.stats.invalidations == 1
+        self.check_identity(c)
+
+    def test_invalidate_missing_block_not_counted(self):
+        c = make_cache()
+        assert c.invalidate(42) is False
+        assert c.stats.invalidations == 0
+
+    def test_reinsert_does_not_double_count(self):
+        c = make_cache(capacity_blocks=4)
+        c.insert(1)
+        c.insert(1, dirty=True)  # re-touch, not a new insertion
+        assert c.stats.insertions == 1
+        self.check_identity(c)
+
+    def test_identity_holds_under_churn(self):
+        c = make_cache(capacity_blocks=3)
+        for b in range(20):
+            c.insert(b, dirty=(b % 2 == 0))
+            if b % 5 == 0:
+                c.invalidate(b)
+            self.check_identity(c)
