@@ -16,7 +16,9 @@ The package provides:
 * :mod:`repro.power` — the four disk power-management policies evaluated
   in the paper plus the no-op baseline and an oracle;
 * :mod:`repro.workloads` — the six application models of Table III;
-* :mod:`repro.experiments` — one driver per table/figure of §V.
+* :mod:`repro.experiments` — one driver per table/figure of §V;
+* :mod:`repro.faults` — deterministic fault injection (fault plans,
+  seeded streams, degraded-mode recovery counters).
 
 Quick start::
 
@@ -37,6 +39,7 @@ from .core import (
 )
 from .disk import TABLE2_DISK, DiskRequest, DiskSpec, Drive, table2_multispeed_spec
 from .experiments import ExperimentConfig, Runner, default_config, make_runner
+from .faults import FaultEvent, FaultPlan, load_plan, save_plan
 from .ir import Compute, FileDecl, Loop, Program, Read, Write, trace_program
 from .power import (
     HistoryBasedMultiSpeed,
@@ -91,6 +94,11 @@ __all__ = [
     "PredictionSpinDown",
     "HistoryBasedMultiSpeed",
     "StaggeredMultiSpeed",
+    # faults
+    "FaultPlan",
+    "FaultEvent",
+    "load_plan",
+    "save_plan",
     # workloads & experiments
     "get_workload",
     "all_workloads",

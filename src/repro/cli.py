@@ -145,12 +145,18 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--ionodes", type=int, default=None)
     run_p.add_argument("--delta", type=int, default=None)
     run_p.add_argument("--theta", type=int, default=None)
+    run_p.add_argument("--faults", default=None, metavar="PLAN.json",
+                       help="inject the given fault plan (JSON, see "
+                       "repro.faults); fault counters land in --metrics")
     _add_exec_flags(run_p)
     _add_obs_flags(run_p)
 
     fig_p = sub.add_parser("figure", help="regenerate a paper table/figure")
     fig_p.add_argument("name", choices=sorted(FIGURES))
     fig_p.add_argument("--scale", type=float, default=None)
+    fig_p.add_argument("--faults", default=None, metavar="PLAN.json",
+                       help="inject the given fault plan into every grid "
+                       "point of the figure")
     _add_exec_flags(fig_p)
     _add_obs_flags(fig_p)
 
@@ -236,6 +242,10 @@ def _config(args) -> "ExperimentConfig":
         value = getattr(args, attr, None)
         if value is not None:
             overrides[field] = value
+    if getattr(args, "faults", None):
+        from .faults import load_plan
+
+        overrides["fault_plan"] = load_plan(args.faults)
     return cfg.scaled(**overrides) if overrides else cfg
 
 
@@ -346,6 +356,10 @@ def cmd_figure(args, out) -> int:
     from .exec import figure_points
 
     cfg = default_config(scale=args.scale)
+    if getattr(args, "faults", None):
+        from .faults import load_plan
+
+        cfg = cfg.scaled(fault_plan=load_plan(args.faults))
     executor, cache = _executor(args)
     runner = Runner(cfg, cache=cache)
     executor.warm_runner(runner, figure_points(args.name, cfg))

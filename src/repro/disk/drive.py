@@ -35,6 +35,7 @@ from .power import RPM_DOWN, RPM_UP, DiskPowerModel, EnergyBreakdown
 from .specs import DiskSpec
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..faults.injector import DriveFaultState
     from ..power.policy import PowerPolicy
 
 __all__ = ["DiskRequest", "Drive", "DriveStats"]
@@ -55,6 +56,8 @@ class DiskRequest:
     submit_time: float = -1.0
     start_time: float = -1.0
     end_time: float = -1.0
+    #: Fault-injection retry tally (media errors re-read in place).
+    retries: int = 0
 
     @property
     def queue_delay(self) -> float:
@@ -121,6 +124,8 @@ class Drive:
         "ramp_settle_time",
         "policy",
         "_tracer",
+        "_faults",
+        "_spinup_attempt",
     )
 
     def __init__(
@@ -131,6 +136,7 @@ class Drive:
         serve_at_low_rpm: bool = True,
         ramp_restart_delay: float = 0.5,
         arm_scheduling: str = "elevator",
+        faults: Optional["DriveFaultState"] = None,
     ):
         if arm_scheduling not in ("elevator", "fifo"):
             raise ValueError(f"unknown arm_scheduling {arm_scheduling!r}")
@@ -172,6 +178,8 @@ class Drive:
 
         self.policy: Optional["PowerPolicy"] = None
         self._tracer = sim.obs.tracer
+        self._faults = faults
+        self._spinup_attempt = 0
 
     # ------------------------------------------------------------------
     # Introspection
@@ -192,6 +200,23 @@ class Drive:
     @property
     def queue_depth(self) -> int:
         return len(self._queue)
+
+    @property
+    def fault_state(self) -> Optional["DriveFaultState"]:
+        """This drive's fault-injection state, if any event targets it."""
+        return self._faults
+
+    @property
+    def is_dead(self) -> bool:
+        """Whether an injected ``disk.fail`` has taken effect by now.
+
+        A dead drive never receives *new* requests — the I/O node's RAID
+        translation routes around it (degraded reads) — but requests
+        already in flight at the instant of death complete normally: the
+        failure model is fail-stop at the admission boundary.
+        """
+        fs = self._faults
+        return fs is not None and fs.is_dead(self.sim.now)
 
     def attach_policy(self, policy: "PowerPolicy") -> None:
         """Attach a power-management policy; it starts observing now."""
@@ -291,6 +316,21 @@ class Drive:
 
     def _complete(self, request: DiskRequest) -> None:
         now = self.sim.now
+        fs = self._faults
+        if fs is not None and not request.is_write:
+            if fs.read_attempt_faulty(
+                now, request.lba, request.nbytes, request.retries
+            ):
+                # Media error: re-read in place after a fixed penalty.
+                # The drive stays busy and in its ACTIVE timeline state,
+                # so retries cost both time and active-power energy.
+                request.retries += 1
+                self.sim.schedule(fs.retry_penalty, self._complete, request)
+                return
+            if request.retries:
+                fs.read_recovered(
+                    now, request.lba, request.nbytes, request.retries
+                )
         request.end_time = now
         self._head_cylinder = lba_to_cylinder(self.spec, request.lba)
         self._busy = False
@@ -387,7 +427,9 @@ class Drive:
         self._spinning_up = True
         self._spin_up_remaining = progress * self.spec.spin_up_time
         self.timeline.transition(self.sim.now, st.SPIN_UP)
-        self.sim.schedule(self._spin_up_remaining, self._finish_spin_up)
+        # An aborted spin-down never hit standby, so its re-acceleration
+        # is not a cold spin-up and cannot suffer a spin-up failure.
+        self.sim.schedule(self._spin_up_remaining, self._finish_spin_up, False)
 
     def spin_up(self) -> bool:
         """Wake from standby to full speed.  Returns False if not asleep."""
@@ -397,15 +439,35 @@ class Drive:
         self._spinning_up = True
         self.stats.spin_ups += 1
         self.timeline.transition(self.sim.now, st.SPIN_UP)
-        self.sim.schedule(self.spec.spin_up_time, self._finish_spin_up)
+        self.sim.schedule(self.spec.spin_up_time, self._finish_spin_up, True)
         return True
 
-    def _finish_spin_up(self) -> None:
+    def _finish_spin_up(self, cold: bool = True) -> None:
+        fs = self._faults
+        if cold and fs is not None and fs.spinup_should_fail(self.sim.now):
+            # The spindle failed to reach speed: fall back to standby and
+            # retry with exponential backoff.  The failed attempt already
+            # paid a full SPIN_UP interval of time and energy.
+            self._spinning_up = False
+            self._spun_down = True
+            self.current_rpm = 0
+            self.timeline.transition(self.sim.now, st.STANDBY)
+            delay = fs.spinup_retry_delay(self._spinup_attempt)
+            self._spinup_attempt += 1
+            self.sim.schedule(delay, self._retry_spin_up)
+            return
+        self._spinup_attempt = 0
         self._spinning_up = False
         self.current_rpm = self.spec.max_rpm
         self.target_rpm = self.spec.max_rpm
         self.timeline.transition(self.sim.now, st.idle_at(self.current_rpm))
         self._try_start_service()
+
+    def _retry_spin_up(self) -> None:
+        """Backoff expired after a failed spin-up; try again if still
+        needed (a request arrival may already have restarted the motor)."""
+        if self._spun_down and not self._spinning_up:
+            self.spin_up()
 
     # ------------------------------------------------------------------
     # Multi-speed (DRPM) ramping

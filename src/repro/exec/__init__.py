@@ -25,7 +25,12 @@ from .executor import (
     execute_point,
     merge_metrics_dir,
 )
-from .grid import GRID_FIGURES, all_figure_points, figure_points
+from .grid import (
+    GRID_FIGURES,
+    all_figure_points,
+    figure_points,
+    with_fault_plan,
+)
 from .serialize import (
     SCHEMA_VERSION,
     run_result_from_dict,
@@ -47,6 +52,7 @@ __all__ = [
     "merge_metrics_dir",
     "figure_points",
     "all_figure_points",
+    "with_fault_plan",
     "GRID_FIGURES",
     "QUICK_FIGURES",
     "run_bench",

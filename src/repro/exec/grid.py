@@ -10,7 +10,7 @@ constants — if a sweep changes there, the grid follows.
 
 from __future__ import annotations
 
-from typing import Iterable, Optional, Sequence
+from typing import TYPE_CHECKING, Iterable, Optional, Sequence
 
 from ..experiments.config import ExperimentConfig
 from ..experiments.figures import (
@@ -23,7 +23,15 @@ from ..experiments.figures import (
 from ..experiments.runner import POLICIES
 from .executor import RunPoint
 
-__all__ = ["figure_points", "all_figure_points", "GRID_FIGURES"]
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..faults.plan import FaultPlan
+
+__all__ = [
+    "figure_points",
+    "all_figure_points",
+    "with_fault_plan",
+    "GRID_FIGURES",
+]
 
 
 def _baselines(cfg: ExperimentConfig) -> list[RunPoint]:
@@ -87,6 +95,24 @@ def figure_points(
             cfg, "cache_bytes", [mb * 1024 * 1024 for mb in CACHE_SWEEP_MB]
         )
     raise ValueError(f"unknown figure {name!r}")
+
+
+def with_fault_plan(
+    points: Iterable[RunPoint], plan: Optional["FaultPlan"]
+) -> list[RunPoint]:
+    """The same grid with ``plan`` installed on every point's config.
+
+    This is how fault plans are enumerated in experiment grids: build
+    the clean grid, then derive the faulted variant — the plan rides in
+    the config, so cache keys and memo tables separate the two for free.
+    """
+    return [
+        RunPoint(
+            p.workload, p.policy, p.scheme,
+            p.config.scaled(fault_plan=plan),
+        )
+        for p in points
+    ]
 
 
 #: Figures with a non-empty run grid, paper order.

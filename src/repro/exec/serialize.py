@@ -34,7 +34,10 @@ __all__ = [
 #: 2: energy_until is now defined as the sum of the per-family breakdown
 #:    (same wattages, different float summation order), so cached energy
 #:    values from v1 are not bit-identical to fresh ones.
-SCHEMA_VERSION = 2
+#: 3: RAID-10 mirror reads are now a pure function of the extent's
+#:    address (was call-history round-robin), so cached raid_level=10
+#:    results from v2 are not reproducible by fresh simulation.
+SCHEMA_VERSION = 3
 
 
 def canonical_dumps(obj: Any) -> str:

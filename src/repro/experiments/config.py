@@ -11,8 +11,10 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass, fields, replace
+from typing import Optional
 
 from ..disk.specs import TABLE2_DISK, DiskSpec, table2_multispeed_spec
+from ..faults.plan import FaultPlan
 from ..runtime.session import SessionConfig
 
 __all__ = ["ExperimentConfig", "default_config", "bench_scale"]
@@ -54,6 +56,12 @@ class ExperimentConfig:
     # Workload scaling.
     workload_scale: float = 1.0
 
+    # Fault injection (``None`` = the perfect stack).  Part of the config
+    # so fault plans are enumerable in experiment grids and participate
+    # in every cache key — a faulted run can never collide with a clean
+    # one in the ResultCache or the runner's memo tables.
+    fault_plan: Optional[FaultPlan] = None
+
     def disk_spec(self, multispeed: bool) -> DiskSpec:
         """Table II single-speed or DRPM disk."""
         return table2_multispeed_spec() if multispeed else TABLE2_DISK
@@ -82,8 +90,19 @@ class ExperimentConfig:
         would break if a future field were added with ``compare=False``)
         and it keys equally across processes, unlike ``hash()`` which is
         salted per-interpreter for any str-containing value.
+
+        Values that know how to canonicalize themselves (``to_key()``,
+        e.g. :class:`~repro.faults.plan.FaultPlan`) contribute their own
+        nested primitive tuples so the key stays JSON-encodable.
         """
-        return tuple((f.name, getattr(self, f.name)) for f in fields(self))
+        out = []
+        for f in fields(self):
+            value = getattr(self, f.name)
+            own_key = getattr(value, "to_key", None)
+            if callable(own_key):
+                value = own_key()
+            out.append((f.name, value))
+        return tuple(out)
 
 
 def bench_scale() -> float:

@@ -175,6 +175,7 @@ class Runner:
             cfg.session_config(),
             compile_result=compile_result,
             obs=obs,
+            faults=cfg.fault_plan,
         )
         outcome = session.run()
         horizon = outcome.execution_time

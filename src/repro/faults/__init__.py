@@ -1,0 +1,37 @@
+"""Deterministic fault injection and degraded-mode recovery.
+
+See :mod:`repro.faults.plan` for the fault taxonomy and the determinism
+contract, and DESIGN.md §12 for the recovery semantics.
+"""
+
+from .injector import (
+    DriveFaultState,
+    FaultCounters,
+    FaultInjector,
+    LinkFaultState,
+    stream_rng,
+)
+from .plan import (
+    FAULT_KINDS,
+    FaultEvent,
+    FaultPlan,
+    load_plan,
+    plan_from_dict,
+    plan_to_dict,
+    save_plan,
+)
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultEvent",
+    "FaultPlan",
+    "load_plan",
+    "save_plan",
+    "plan_to_dict",
+    "plan_from_dict",
+    "FaultInjector",
+    "FaultCounters",
+    "DriveFaultState",
+    "LinkFaultState",
+    "stream_rng",
+]

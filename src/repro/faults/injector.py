@@ -1,0 +1,348 @@
+"""Runtime side of fault injection: per-component state + counters.
+
+The :class:`FaultInjector` compiles a :class:`~repro.faults.plan.FaultPlan`
+into per-component state objects that the simulation components consult
+*lazily* — no extra simulator events are ever scheduled, so an injector
+built from an empty plan (or none at all) leaves the event heap, and
+therefore the whole simulation, bit-identical to a fault-free run.
+(:class:`~repro.runtime.session.Session` goes one step further and only
+builds an injector when the plan has events.)
+
+Randomness comes from *named seeded streams*: each component owns a
+``random.Random`` seeded with ``sha256(f"{plan.seed}:{name}")``, so the
+sequence of draws a drive or link sees depends only on its own operation
+order — which the deterministic simulator fixes — never on how events
+from *different* components interleave.  That is what makes identical
+plans replay bit-for-bit, serial or across a process pool.
+
+All mutable run state (remapped extents, remaining spin-up failures,
+retry tallies) lives here, per Session, so one plan object can drive many
+concurrent runs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass, field
+from typing import Optional
+
+from .plan import DISK_KINDS, FaultEvent, FaultPlan
+
+__all__ = [
+    "stream_rng",
+    "FaultCounters",
+    "DriveFaultState",
+    "LinkFaultState",
+    "FaultInjector",
+]
+
+#: Hard cap on retransmissions per transfer under ``net.loss`` — keeps a
+#: pathological probability from stalling a link forever.
+MAX_RETRANSMITS = 8
+
+
+def stream_rng(seed: int, name: str) -> random.Random:
+    """The named seeded stream for component ``name`` under ``seed``."""
+    digest = hashlib.sha256(f"{seed}:{name}".encode()).digest()
+    return random.Random(int.from_bytes(digest[:8], "big"))
+
+
+@dataclass
+class FaultCounters:
+    """Fleet-wide tally of injections and recoveries for one run.
+
+    Shared by every component state of one injector; exported to
+    ``repro.obs`` as the ``faults.*`` metric family.
+    """
+
+    disk_read_errors: int = 0
+    disk_read_retries: int = 0
+    disk_reads_recovered: int = 0
+    disk_sector_remaps: int = 0
+    disk_failed_spinups: int = 0
+    disk_spinup_retries: int = 0
+    raid_degraded_reads: int = 0
+    raid_reconstructed: int = 0
+    raid_failed_over: int = 0
+    raid_degraded_writes: int = 0
+    raid_lost_ops: int = 0
+    net_retransmits: int = 0
+    net_crash_held: int = 0
+    net_straggled: int = 0
+    net_latency_spiked: int = 0
+    sched_prefetch_timeouts: int = 0
+    sched_refetches: int = 0
+    buffer_reclaimed: int = 0
+    #: Retries each recovered read needed (histogram source).
+    retry_counts: list = field(default_factory=list)
+
+
+class _Window:
+    """One active window of a windowed fault kind."""
+
+    __slots__ = ("start", "end", "probability", "factor", "extra_latency")
+
+    def __init__(self, event: FaultEvent):
+        self.start = event.time
+        self.end = event.end
+        self.probability = event.probability
+        self.factor = event.factor
+        self.extra_latency = event.extra_latency
+
+    def active(self, now: float) -> bool:
+        return self.start <= now < self.end
+
+
+class _BadExtent:
+    """A bad-sector extent; mutable because it can be remapped."""
+
+    __slots__ = ("time", "lba_start", "lba_end", "remapped")
+
+    def __init__(self, event: FaultEvent):
+        self.time = event.time
+        self.lba_start = event.lba_start
+        self.lba_end = event.lba_end
+        self.remapped = False
+
+    def hits(self, now: float, lba: int, nbytes: int) -> bool:
+        return (
+            not self.remapped
+            and now >= self.time
+            and lba < self.lba_end
+            and lba + nbytes > self.lba_start
+        )
+
+
+class DriveFaultState:
+    """Everything one drive needs to answer its fault questions.
+
+    Consulted by :class:`~repro.disk.drive.Drive` at request completion
+    (read errors) and spin-up completion (spin-up failures), and by the
+    I/O node's RAID translation (``dead_from``).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        events: list,
+        plan: FaultPlan,
+        counters: FaultCounters,
+    ):
+        self.name = name
+        self.counters = counters
+        self.retry_limit = plan.read_retry_limit
+        self.retry_penalty = plan.read_retry_penalty
+        self.spinup_retry_base = plan.spinup_retry_base
+        self._rng = stream_rng(plan.seed, f"drive:{name}")
+        self._error_windows: list[_Window] = []
+        self._bad_extents: list[_BadExtent] = []
+        self._spinup_failures: list[list] = []  # [time, remaining]
+        self.dead_from: Optional[float] = None
+        for event in events:
+            if event.kind == "disk.transient_errors":
+                self._error_windows.append(_Window(event))
+            elif event.kind == "disk.bad_sectors":
+                self._bad_extents.append(_BadExtent(event))
+            elif event.kind == "disk.spinup_fail":
+                self._spinup_failures.append([event.time, event.count])
+            elif event.kind == "disk.fail":
+                if self.dead_from is None or event.time < self.dead_from:
+                    self.dead_from = event.time
+
+    @property
+    def can_die(self) -> bool:
+        return self.dead_from is not None
+
+    def is_dead(self, now: float) -> bool:
+        return self.dead_from is not None and now >= self.dead_from
+
+    # -- read path -----------------------------------------------------
+    def read_attempt_faulty(
+        self, now: float, lba: int, nbytes: int, retries_so_far: int
+    ) -> bool:
+        """Does this read attempt fail?  Counts errors and retries.
+
+        Past ``retry_limit`` attempts the read is served from the spare
+        reserve (never faulty), so every read terminates — the simulator
+        models degraded *timing*, not data loss on the surviving path.
+        """
+        if retries_so_far >= self.retry_limit:
+            return False
+        faulty = any(
+            ext.hits(now, lba, nbytes) for ext in self._bad_extents
+        )
+        if not faulty:
+            for window in self._error_windows:
+                if window.active(now):
+                    if self._rng.random() < window.probability:
+                        faulty = True
+                    break
+        if faulty:
+            self.counters.disk_read_errors += 1
+            self.counters.disk_read_retries += 1
+        return faulty
+
+    def read_recovered(self, now: float, lba: int, nbytes: int,
+                       retries: int) -> None:
+        """A previously-faulted read completed; remap any bad extents it
+        touched so later reads of those LBAs are clean."""
+        self.counters.disk_reads_recovered += 1
+        self.counters.retry_counts.append(retries)
+        for ext in self._bad_extents:
+            if ext.hits(now, lba, nbytes):
+                ext.remapped = True
+                self.counters.disk_sector_remaps += 1
+
+    # -- spin-up path --------------------------------------------------
+    def spinup_should_fail(self, now: float) -> bool:
+        """Consume one scheduled spin-up failure, if any is armed."""
+        for pending in self._spinup_failures:
+            if now >= pending[0] and pending[1] > 0:
+                pending[1] -= 1
+                self.counters.disk_failed_spinups += 1
+                return True
+        return False
+
+    def spinup_retry_delay(self, attempt: int) -> float:
+        """Exponential backoff before spin-up attempt ``attempt + 1``."""
+        self.counters.disk_spinup_retries += 1
+        return self.spinup_retry_base * (2.0 ** attempt)
+
+
+class LinkFaultState:
+    """Fault view of one I/O node's network link.
+
+    Consulted by :class:`~repro.net.network.Link` when a transfer is
+    scheduled; perturbs (start, service, latency) and never drops a
+    transfer — a crash *holds* traffic until recovery, so in-flight I/O
+    always lands and conservation invariants survive degradation.
+    """
+
+    def __init__(
+        self,
+        node_id: int,
+        events: list,
+        plan: FaultPlan,
+        counters: FaultCounters,
+    ):
+        self.node_id = node_id
+        self.counters = counters
+        self.retransmit_delay = plan.retransmit_delay
+        self._rng = stream_rng(plan.seed, f"link:{node_id}")
+        self._crash: list[_Window] = []
+        self._straggle: list[_Window] = []
+        self._loss: list[_Window] = []
+        self._latency: list[_Window] = []
+        buckets = {
+            "node.crash": self._crash,
+            "node.straggle": self._straggle,
+            "net.loss": self._loss,
+            "net.latency": self._latency,
+        }
+        for event in events:
+            buckets[event.kind].append(_Window(event))
+
+    def perturb(
+        self, start: float, service: float, latency: float
+    ) -> tuple[float, float, float]:
+        """Apply every active fault window to one transfer."""
+        for window in self._crash:
+            if window.active(start):
+                start = window.end
+                self.counters.net_crash_held += 1
+        for window in self._straggle:
+            if window.active(start):
+                service *= window.factor
+                self.counters.net_straggled += 1
+        for window in self._loss:
+            if window.active(start):
+                retransmits = 0
+                while (
+                    retransmits < MAX_RETRANSMITS
+                    and self._rng.random() < window.probability
+                ):
+                    retransmits += 1
+                if retransmits:
+                    service += retransmits * self.retransmit_delay
+                    self.counters.net_retransmits += retransmits
+        for window in self._latency:
+            if window.active(start):
+                latency += window.extra_latency
+                self.counters.net_latency_spiked += 1
+        return start, service, latency
+
+
+def _node_key(target: str) -> str:
+    """Normalize a node target (``node3`` or ``3``) to its index string."""
+    return target[4:] if target.startswith("node") else target
+
+
+class FaultInjector:
+    """Compiled, per-run fault state for every targeted component.
+
+    ``drive_state(name)`` / ``link_state(node_id)`` return ``None`` for
+    components no event targets, so untargeted components keep their
+    fault-free fast path (a single ``is None`` check).
+    """
+
+    def __init__(self, plan: FaultPlan):
+        self.plan = plan
+        self.counters = FaultCounters()
+        self.injected: dict[str, int] = {}
+        self._disk_events: dict[str, list] = {}
+        self._disk_wildcard: list = []
+        self._node_events: dict[str, list] = {}
+        self._node_wildcard: list = []
+        for event in plan.events:
+            self.injected[event.kind] = self.injected.get(event.kind, 0) + 1
+            if event.kind in DISK_KINDS:
+                if event.target == "*":
+                    self._disk_wildcard.append(event)
+                else:
+                    self._disk_events.setdefault(event.target, []).append(
+                        event
+                    )
+            else:
+                if event.target == "*":
+                    self._node_wildcard.append(event)
+                else:
+                    self._node_events.setdefault(
+                        _node_key(event.target), []
+                    ).append(event)
+        self._drive_states: dict[str, Optional[DriveFaultState]] = {}
+        self._link_states: dict[int, Optional[LinkFaultState]] = {}
+
+    # -- runtime recovery knobs ---------------------------------------
+    @property
+    def fetch_timeout(self) -> Optional[float]:
+        return self.plan.fetch_timeout
+
+    @property
+    def fetch_retries(self) -> int:
+        return self.plan.fetch_retries
+
+    # -- component state ----------------------------------------------
+    def drive_state(self, name: str) -> Optional[DriveFaultState]:
+        """Fault state for drive ``name`` (e.g. ``node0.disk1``)."""
+        if name not in self._drive_states:
+            events = self._disk_wildcard + self._disk_events.get(name, [])
+            self._drive_states[name] = (
+                DriveFaultState(name, events, self.plan, self.counters)
+                if events
+                else None
+            )
+        return self._drive_states[name]
+
+    def link_state(self, node_id: int) -> Optional[LinkFaultState]:
+        """Fault state for I/O node ``node_id``'s link."""
+        if node_id not in self._link_states:
+            events = self._node_wildcard + self._node_events.get(
+                str(node_id), []
+            )
+            self._link_states[node_id] = (
+                LinkFaultState(node_id, events, self.plan, self.counters)
+                if events
+                else None
+            )
+        return self._link_states[node_id]

@@ -1,0 +1,291 @@
+"""Fault plans: the declarative input of the fault-injection subsystem.
+
+A :class:`FaultPlan` is a frozen, hashable value object listing concrete
+:class:`FaultEvent`\\ s at simulated times plus the recovery knobs the
+degraded-mode paths use (retry limits, backoff bases, the scheduler
+thread's fetch watchdog).  Plans are deliberately *data*: loading the
+same JSON file always produces an equal plan, equal plans produce
+bit-identical simulations, and the plan participates in every cache and
+memoization key (see :meth:`FaultPlan.to_key`), so faulted and clean
+runs can never collide in the result cache.
+
+Fault taxonomy (``FaultEvent.kind``):
+
+``disk.transient_errors``
+    During ``[time, time+duration)`` each read *attempt* on the target
+    drive fails with ``probability`` (drawn from the drive's named
+    seeded stream).  The drive retries with a bounded per-attempt
+    penalty; retries are counted, and an attempt past the retry limit
+    is served from the spare-sector reserve (remap semantics).
+``disk.bad_sectors``
+    From ``time`` on, reads overlapping physical LBAs
+    ``[lba_start, lba_end)`` fail deterministically until the drive
+    exhausts its retries and remaps the extent; later reads are clean.
+``disk.fail``
+    The target drive is dead from ``time`` on.  The I/O node routes
+    around it through the RAID map's degraded translation (RAID-5
+    parity reconstruction, RAID-10 mirror failover); RAID-0 ops are
+    counted as lost and completed immediately.
+``disk.spinup_fail``
+    The next ``count`` spin-up completions at or after ``time`` fail;
+    the drive stays in standby and retries with exponential backoff.
+``node.straggle``
+    During the window, the target I/O node's link serves every transfer
+    ``factor`` times slower (service-time inflation — the classic
+    straggling-server model).
+``node.crash``
+    During the window the target node is down: transfers that would
+    start inside the window are held until it ends (the node reboots
+    and then serves its backlog).  Windows are finite by construction.
+``net.loss``
+    During the window each transfer on the target node's link suffers
+    retransmissions with ``probability`` per attempt (drawn from the
+    link's named stream), each adding ``retransmit_delay`` seconds.
+``net.latency``
+    During the window every transfer on the target link pays
+    ``extra_latency`` additional seconds.
+
+Targets: disk events name a drive (``node0.disk1``); node/net events
+name an I/O node (``node0`` or plain ``0``).  ``*`` targets every
+drive/node.
+
+Determinism contract: faults are *drawn from named seeded streams* —
+one stream per component, keyed by ``(plan.seed, component name)`` —
+so a component's draw sequence depends only on its own (deterministic)
+operation order, never on how events from different components happen
+to interleave.  Identical plans therefore replay bit-for-bit, serial
+or under ``--jobs N``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, fields
+from pathlib import Path
+from typing import Any, Iterable, Optional, Union
+
+__all__ = [
+    "FAULT_KINDS",
+    "DISK_KINDS",
+    "NODE_KINDS",
+    "FaultEvent",
+    "FaultPlan",
+    "plan_to_dict",
+    "plan_from_dict",
+    "load_plan",
+    "save_plan",
+]
+
+DISK_KINDS = frozenset(
+    {"disk.transient_errors", "disk.bad_sectors", "disk.fail",
+     "disk.spinup_fail"}
+)
+NODE_KINDS = frozenset(
+    {"node.straggle", "node.crash", "net.loss", "net.latency"}
+)
+FAULT_KINDS = DISK_KINDS | NODE_KINDS
+
+#: Kinds that require a positive-length window.
+_WINDOWED = frozenset(
+    {"disk.transient_errors", "node.straggle", "node.crash", "net.loss",
+     "net.latency"}
+)
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One concrete fault, scheduled on the simulated timeline."""
+
+    kind: str
+    target: str
+    time: float = 0.0
+    duration: float = 0.0
+    probability: float = 0.0
+    lba_start: int = -1
+    lba_end: int = -1
+    count: int = 0
+    factor: float = 1.0
+    extra_latency: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r} "
+                f"(expected one of {sorted(FAULT_KINDS)})"
+            )
+        if not self.target:
+            raise ValueError(f"{self.kind}: empty target")
+        if self.time < 0:
+            raise ValueError(f"{self.kind}: negative time {self.time}")
+        if self.kind in _WINDOWED and self.duration <= 0:
+            raise ValueError(
+                f"{self.kind}: needs a positive duration window "
+                f"(got {self.duration})"
+            )
+        if self.kind in ("disk.transient_errors", "net.loss"):
+            if not 0.0 < self.probability <= 1.0:
+                raise ValueError(
+                    f"{self.kind}: probability must be in (0, 1] "
+                    f"(got {self.probability})"
+                )
+        if self.kind == "disk.bad_sectors":
+            if self.lba_start < 0 or self.lba_end <= self.lba_start:
+                raise ValueError(
+                    f"disk.bad_sectors: bad extent "
+                    f"[{self.lba_start}, {self.lba_end})"
+                )
+        if self.kind == "disk.spinup_fail" and self.count < 1:
+            raise ValueError(
+                f"disk.spinup_fail: count must be >= 1 (got {self.count})"
+            )
+        if self.kind == "node.straggle" and self.factor <= 1.0:
+            raise ValueError(
+                f"node.straggle: factor must be > 1 (got {self.factor})"
+            )
+        if self.kind == "net.latency" and self.extra_latency <= 0:
+            raise ValueError(
+                f"net.latency: extra_latency must be > 0 "
+                f"(got {self.extra_latency})"
+            )
+
+    @property
+    def end(self) -> float:
+        return self.time + self.duration
+
+    def to_key(self) -> tuple:
+        """Canonical primitive tuple (participates in cache digests)."""
+        return tuple(
+            (f.name, getattr(self, f.name)) for f in fields(self)
+        )
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A complete fault schedule plus the degraded-mode recovery knobs."""
+
+    events: tuple = ()
+    #: Root of every named fault stream (see determinism contract above).
+    seed: int = 0
+    #: Bounded-retry limit for faulted read attempts on a drive.
+    read_retry_limit: int = 3
+    #: Seconds each read retry attempt costs (re-read after a miss).
+    read_retry_penalty: float = 0.015
+    #: Base of the exponential backoff between failed spin-up attempts.
+    spinup_retry_base: float = 0.5
+    #: Scheduler-thread fetch watchdog: a prefetch still in flight after
+    #: this many seconds is abandoned and the access falls back to an
+    #: on-demand read.  ``None`` disables the watchdog even under faults.
+    fetch_timeout: Optional[float] = 5.0
+    #: How many times the watchdog re-requests a timed-out fetch (with
+    #: exponential backoff) before leaving it to the on-demand path.
+    fetch_retries: int = 2
+    #: Seconds one retransmission adds under ``net.loss``.
+    retransmit_delay: float = 0.02
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "events", tuple(self.events))
+        for event in self.events:
+            if not isinstance(event, FaultEvent):
+                raise TypeError(f"not a FaultEvent: {event!r}")
+        if self.read_retry_limit < 1:
+            raise ValueError(
+                f"read_retry_limit must be >= 1: {self.read_retry_limit}"
+            )
+        if self.read_retry_penalty < 0:
+            raise ValueError(
+                f"negative read_retry_penalty: {self.read_retry_penalty}"
+            )
+        if self.spinup_retry_base <= 0:
+            raise ValueError(
+                f"spinup_retry_base must be > 0: {self.spinup_retry_base}"
+            )
+        if self.fetch_timeout is not None and self.fetch_timeout <= 0:
+            raise ValueError(
+                f"fetch_timeout must be > 0 or None: {self.fetch_timeout}"
+            )
+        if self.fetch_retries < 0:
+            raise ValueError(
+                f"negative fetch_retries: {self.fetch_retries}"
+            )
+        if self.retransmit_delay < 0:
+            raise ValueError(
+                f"negative retransmit_delay: {self.retransmit_delay}"
+            )
+
+    def __bool__(self) -> bool:
+        """A plan is truthy when it actually injects something."""
+        return bool(self.events)
+
+    def to_key(self) -> tuple:
+        """Canonical primitive tuple — the plan's cache-key contribution.
+
+        Nested tuples of primitives only, so it JSON-encodes inside
+        :func:`repro.exec.cache.point_digest` and hashes inside the
+        runner's memoization keys.
+        """
+        scalars = tuple(
+            (f.name, getattr(self, f.name))
+            for f in fields(self)
+            if f.name != "events"
+        )
+        return ("faultplan",) + scalars + (
+            ("events", tuple(e.to_key() for e in self.events)),
+        )
+
+
+# ----------------------------------------------------------------------
+# JSON round-trip
+# ----------------------------------------------------------------------
+_EVENT_FIELDS = tuple(f.name for f in fields(FaultEvent))
+_PLAN_FIELDS = tuple(
+    f.name for f in fields(FaultPlan) if f.name != "events"
+)
+
+
+def plan_to_dict(plan: FaultPlan) -> dict[str, Any]:
+    """JSON-able dict; round-trips exactly through :func:`plan_from_dict`."""
+    return {
+        **{name: getattr(plan, name) for name in _PLAN_FIELDS},
+        "events": [
+            {name: getattr(e, name) for name in _EVENT_FIELDS}
+            for e in plan.events
+        ],
+    }
+
+
+def plan_from_dict(data: dict[str, Any]) -> FaultPlan:
+    """Build a validated plan from a JSON-decoded dict."""
+    if not isinstance(data, dict):
+        raise ValueError(f"fault plan must be a JSON object, got {data!r}")
+    unknown = set(data) - set(_PLAN_FIELDS) - {"events"}
+    if unknown:
+        raise ValueError(f"unknown fault plan field(s): {sorted(unknown)}")
+    events: Iterable = data.get("events", ())
+    parsed = []
+    for i, raw in enumerate(events):
+        if not isinstance(raw, dict):
+            raise ValueError(f"events[{i}] is not an object: {raw!r}")
+        bad = set(raw) - set(_EVENT_FIELDS)
+        if bad:
+            raise ValueError(
+                f"events[{i}]: unknown field(s) {sorted(bad)}"
+            )
+        parsed.append(FaultEvent(**raw))
+    knobs = {k: v for k, v in data.items() if k != "events"}
+    return FaultPlan(events=tuple(parsed), **knobs)
+
+
+def load_plan(path: Union[str, Path]) -> FaultPlan:
+    """Load and validate a fault plan from a JSON file."""
+    with Path(path).open("r", encoding="utf-8") as fh:
+        return plan_from_dict(json.load(fh))
+
+
+def save_plan(plan: FaultPlan, path: Union[str, Path]) -> Path:
+    """Write a plan as JSON; round-trips exactly through ``load_plan``."""
+    path = Path(path)
+    path.write_text(
+        json.dumps(plan_to_dict(plan), indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    return path

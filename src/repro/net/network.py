@@ -15,9 +15,12 @@ preserves.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable
+from typing import TYPE_CHECKING, Callable, Optional
 
 from ..sim.engine import Simulator
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..faults.injector import FaultInjector, LinkFaultState
 
 __all__ = ["Link", "Network", "NetworkStats"]
 
@@ -35,7 +38,12 @@ class Link:
     """A serialized FIFO link with latency + bandwidth."""
 
     def __init__(
-        self, sim: Simulator, latency: float, bandwidth_bps: float, name: str = ""
+        self,
+        sim: Simulator,
+        latency: float,
+        bandwidth_bps: float,
+        name: str = "",
+        faults: Optional["LinkFaultState"] = None,
     ):
         if latency < 0:
             raise ValueError(f"negative latency: {latency}")
@@ -48,6 +56,7 @@ class Link:
         self._busy_until = 0.0
         self.stats = NetworkStats()
         self._tracer = sim.obs.tracer
+        self._faults = faults
         #: Optional per-transfer queue-delay histogram (seconds), attached
         #: by the session when a metrics registry is live.  ``None`` keeps
         #: the hot path at a single attribute check.
@@ -64,7 +73,15 @@ class Link:
         now = self.sim.now
         start = max(now, self._busy_until)
         service = nbytes / self.bandwidth_bps
-        finish = start + service + self.latency
+        latency = self.latency
+        lf = self._faults
+        if lf is not None:
+            # Crash windows hold the transfer until recovery; straggle /
+            # loss / latency windows inflate its cost.  Transfers are
+            # never dropped, so in-flight I/O always lands eventually and
+            # the conservation invariants survive degradation.
+            start, service, latency = lf.perturb(start, service, latency)
+        finish = start + service + latency
         self._busy_until = start + service
         self.stats.transfers += 1
         self.stats.bytes_moved += nbytes
@@ -91,10 +108,19 @@ class Network:
         n_ionodes: int,
         latency: float = 0.0001,
         bandwidth_bps: float = 1e9,
+        faults: Optional["FaultInjector"] = None,
     ):
         self.sim = sim
         self.links = [
-            Link(sim, latency, bandwidth_bps, name=f"ionode{i}")
+            Link(
+                sim,
+                latency,
+                bandwidth_bps,
+                name=f"ionode{i}",
+                faults=(
+                    faults.link_state(i) if faults is not None else None
+                ),
+            )
             for i in range(n_ionodes)
         ]
 

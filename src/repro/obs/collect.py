@@ -42,13 +42,20 @@ from .metrics import MetricsRegistry
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..runtime.session import SessionResult
 
-__all__ = ["LINK_DELAY_BOUNDS_S", "collect_session_metrics"]
+__all__ = [
+    "LINK_DELAY_BOUNDS_S",
+    "RETRY_BOUNDS",
+    "collect_session_metrics",
+]
 
 #: Bucket bounds (seconds) for per-link queue-delay histograms: 10 µs up
 #: to 1 s, roughly half-decade steps.
 LINK_DELAY_BOUNDS_S = (
     1e-5, 5e-5, 1e-4, 5e-4, 1e-3, 5e-3, 1e-2, 5e-2, 1e-1, 5e-1, 1.0,
 )
+
+#: Bucket bounds for the retries-per-recovered-read histogram.
+RETRY_BOUNDS = (1.0, 2.0, 3.0, 4.0, 6.0, 8.0)
 
 
 def collect_session_metrics(
@@ -106,6 +113,7 @@ def collect_session_metrics(
         registry.counter("buffer.prefetches").inc(buffer.total_prefetches)
         registry.counter("buffer.hits").inc(buffer.hits)
         registry.counter("buffer.abandoned").inc(buffer.abandoned)
+        registry.counter("buffer.reclaimed").inc(buffer.reclaimed)
         registry.gauge("buffer.peak_used_blocks").set(buffer.peak_used)
         registry.gauge("buffer.capacity_blocks").set(buffer.capacity_blocks)
 
@@ -176,5 +184,58 @@ def collect_session_metrics(
         registry.counter("client.writes_issued").inc(cs.writes_issued)
         registry.gauge("client.io_wait_time").max_update(cs.io_wait_time)
         registry.gauge("client.compute_time").max_update(cs.compute_time)
+
+    faults = getattr(outcome, "faults", None)
+    if faults is not None:
+        # The fault story (`repro report --filter 'faults.*'`): what was
+        # injected and how each recovery path absorbed it.
+        for kind in sorted(faults.injected):
+            registry.counter(f"faults.injected.{kind}").inc(
+                faults.injected[kind]
+            )
+        fc = faults.counters
+        registry.counter("faults.disk.read_errors").inc(fc.disk_read_errors)
+        registry.counter("faults.disk.read_retries").inc(
+            fc.disk_read_retries
+        )
+        registry.counter("faults.disk.reads_recovered").inc(
+            fc.disk_reads_recovered
+        )
+        registry.counter("faults.disk.sector_remaps").inc(
+            fc.disk_sector_remaps
+        )
+        registry.counter("faults.disk.failed_spinups").inc(
+            fc.disk_failed_spinups
+        )
+        registry.counter("faults.disk.spinup_retries").inc(
+            fc.disk_spinup_retries
+        )
+        registry.counter("faults.raid.degraded_reads").inc(
+            fc.raid_degraded_reads
+        )
+        registry.counter("faults.raid.reconstructed").inc(
+            fc.raid_reconstructed
+        )
+        registry.counter("faults.raid.failed_over").inc(fc.raid_failed_over)
+        registry.counter("faults.raid.degraded_writes").inc(
+            fc.raid_degraded_writes
+        )
+        registry.counter("faults.raid.lost_ops").inc(fc.raid_lost_ops)
+        registry.counter("faults.net.retransmits").inc(fc.net_retransmits)
+        registry.counter("faults.net.crash_held").inc(fc.net_crash_held)
+        registry.counter("faults.net.straggled").inc(fc.net_straggled)
+        registry.counter("faults.net.latency_spiked").inc(
+            fc.net_latency_spiked
+        )
+        registry.counter("faults.sched.prefetch_timeouts").inc(
+            fc.sched_prefetch_timeouts
+        )
+        registry.counter("faults.sched.refetches").inc(fc.sched_refetches)
+        registry.counter("faults.buffer.reclaimed").inc(fc.buffer_reclaimed)
+        retry_hist = registry.histogram(
+            "faults.disk.retries_per_recovered_read", RETRY_BOUNDS
+        )
+        for retries in fc.retry_counts:
+            retry_hist.observe(float(retries))
 
     return registry

@@ -64,6 +64,7 @@ class GlobalBuffer:
         self.misses = 0
         self.abandoned = 0
         self.abandoned_in_flight = 0
+        self.reclaimed = 0
         self._tracer = sim.obs.tracer
 
     # ------------------------------------------------------------------
@@ -183,6 +184,28 @@ class GlobalBuffer:
         self._used_blocks -= entry.blocks
         self.sim.fire(self.space_freed)
         self.space_freed.reset()
+
+    def reclaim(self, aid: int) -> bool:
+        """Re-publish an entry abandoned while its fetch was in flight.
+
+        The degraded-mode counterpart of :meth:`abandon`: the scheduler
+        thread's fetch watchdog abandons a slow prefetch (so the consumer
+        falls back to an on-demand read), but if the consumer has not yet
+        reached the access's slot the thread may *re-request* the entry —
+        the I/O is still coming, its blocks are still reserved, and
+        landing it as data beats throwing it away.  Only ABANDONED
+        entries whose fetch has not landed can be reclaimed; the fetch
+        then completes through :meth:`complete_fetch` as usual.
+
+        Returns whether the entry was reclaimed.
+        """
+        entry = self._entries.get(aid)
+        if entry is None or entry.state is not EntryState.ABANDONED:
+            return False
+        entry.state = EntryState.FETCHING
+        self.abandoned_in_flight -= 1
+        self.reclaimed += 1
+        return True
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (

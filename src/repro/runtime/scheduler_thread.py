@@ -20,12 +20,16 @@ buffer.  Paper semantics implemented here:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
 
 from ..core.table import ScheduleTable
 from ..sim.engine import Simulator
-from .buffer import GlobalBuffer
+from .buffer import EntryState, GlobalBuffer
 from .clock import LocalClocks
 from .mpi_io import MPIIO
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..faults.injector import FaultCounters
 
 __all__ = [
     "SchedulerThreadStats",
@@ -79,6 +83,10 @@ class SchedulerThreadStats:
     buffer_stalls: int = 0
     buffer_stall_time: float = 0.0
     producer_wait_time: float = 0.0
+    #: Fetch-watchdog outcomes (fault-injection runs only): prefetches
+    #: abandoned after the timeout, and abandoned entries re-requested.
+    prefetch_timeouts: int = 0
+    refetches: int = 0
 
 
 class SchedulerThread:
@@ -94,6 +102,9 @@ class SchedulerThread:
         buffer: GlobalBuffer,
         min_lead: int = 2,
         batch_slots: int = 8,
+        fetch_timeout: Optional[float] = None,
+        fetch_retries: int = 0,
+        fault_counters: Optional["FaultCounters"] = None,
     ):
         """``min_lead`` is the "much earlier" threshold: an access is
         prefetched only when ``original_slot − scheduled_slot ≥ min_lead``.
@@ -102,7 +113,15 @@ class SchedulerThread:
         per window instead of once per slot, which both cuts
         synchronization overhead (the paper's stated reason for limiting
         scheduler activity) and keeps the disks' request stream bursty
-        instead of smearing it one slot at a time."""
+        instead of smearing it one slot at a time.
+
+        ``fetch_timeout`` arms a watchdog on every issued prefetch (used
+        by fault-injection runs, where an I/O node may be slow or down):
+        a fetch still in flight after that long is *abandoned* — the
+        consumer falls back to an on-demand read — and, while the
+        consumer has not yet reached the access's slot, re-requested up
+        to ``fetch_retries`` times with exponential backoff.  ``None``
+        (the default) schedules no watchdog events at all."""
         if min_lead < 1:
             raise ValueError(f"min_lead must be >= 1: {min_lead}")
         if batch_slots < 1:
@@ -115,7 +134,10 @@ class SchedulerThread:
         self.buffer = buffer
         self.min_lead = min_lead
         self.batch_slots = batch_slots
+        self.fetch_timeout = fetch_timeout
+        self.fetch_retries = fetch_retries
         self.stats = SchedulerThreadStats()
+        self._fault_counters = fault_counters
         self._tracer = sim.obs.tracer
 
     # ------------------------------------------------------------------
@@ -200,5 +222,64 @@ class SchedulerThread:
         done = self.mpi_io.read(access.file, access.block, access.blocks)
         aid = entry.aid
         done.add_waiter(lambda _v: self.buffer.complete_fetch(aid))
+        if self.fetch_timeout is not None:
+            self._arm_watchdog(entry, access, attempt=0)
         return
         yield  # pragma: no cover - keeps this function a generator
+
+    # ------------------------------------------------------------------
+    # Fetch watchdog (fault-injection degraded mode).  Plain callbacks,
+    # not generator steps: a stale firing is a state-checked no-op, so the
+    # watchdog never perturbs a fetch that landed in time.
+    # ------------------------------------------------------------------
+    def _arm_watchdog(self, entry, access, attempt: int) -> None:
+        self.sim.schedule(
+            self.fetch_timeout * (2.0 ** attempt),
+            self._watchdog_expire,
+            entry,
+            access,
+            attempt,
+        )
+
+    def _watchdog_expire(self, entry, access, attempt: int) -> None:
+        if entry.state is not EntryState.FETCHING:
+            return  # landed (or already abandoned) in time
+        if self.clocks.time_of(self.process_id) >= access.original_slot:
+            # The consumer has reached the access's slot: it is either
+            # about to wait on this entry or already waiting, and the
+            # data *is* coming (transfers are held, never dropped).
+            # Abandoning now would strand the waiter.
+            return
+        self.stats.prefetch_timeouts += 1
+        if self._fault_counters is not None:
+            self._fault_counters.sched_prefetch_timeouts += 1
+        if self._tracer.enabled:
+            self._tracer.event(
+                "access.fetch_timeout",
+                aid=access.aid,
+                process=self.process_id,
+                attempt=attempt,
+            )
+        self.buffer.abandon(access.aid)
+        if attempt < self.fetch_retries:
+            # Back off, then re-request if the slot is still ahead.
+            self.sim.schedule(
+                self.fetch_timeout * (2.0 ** attempt),
+                self._watchdog_retry,
+                entry,
+                access,
+                attempt,
+            )
+
+    def _watchdog_retry(self, entry, access, attempt: int) -> None:
+        if entry.state is not EntryState.ABANDONED:
+            return  # the in-flight fetch landed and freed the entry
+        if self.clocks.time_of(self.process_id) >= access.original_slot:
+            return  # too late: the consumer has gone on-demand
+        if not self.buffer.reclaim(access.aid):
+            return
+        self.stats.refetches += 1
+        if self._fault_counters is not None:
+            self._fault_counters.sched_refetches += 1
+            self._fault_counters.buffer_reclaimed += 1
+        self._arm_watchdog(entry, access, attempt + 1)

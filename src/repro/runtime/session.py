@@ -16,6 +16,8 @@ from typing import Callable, Optional
 from ..core.compiler import CompileResult
 from ..core.table import ScheduleBook
 from ..disk.specs import DiskSpec
+from ..faults.injector import FaultInjector
+from ..faults.plan import FaultPlan
 from ..ir.profiling import AccessTrace
 from ..net.network import Network
 from ..obs.base import NULL_OBS, Observability
@@ -62,6 +64,9 @@ class SessionResult:
     scheduler_threads: list[SchedulerThread]
     buffer: Optional[GlobalBuffer]
     sim: Optional[Simulator] = None
+    #: The run's fault injector (``None`` on fault-free runs); carries
+    #: the fault counters ``repro.obs`` exports as ``faults.*``.
+    faults: Optional[FaultInjector] = None
 
     @property
     def client_finish_times(self) -> list[float]:
@@ -79,15 +84,23 @@ class Session:
         config: SessionConfig = SessionConfig(),
         compile_result: Optional[CompileResult] = None,
         obs: Optional[Observability] = None,
+        faults: Optional[FaultPlan] = None,
     ):
         """``compile_result`` turns the software scheme on: its schedule
         book drives one scheduler thread per client.  ``obs`` attaches an
         observability context (tracer and/or metrics registry); the
         default is the shared null context — zero instrumentation cost.
+        ``faults`` injects the given fault plan; an empty (or absent)
+        plan builds no injector at all, so the run is structurally
+        bit-identical to a fault-free one.
         """
         self.trace = trace
         self.config = config
         self.obs = obs if obs is not None else NULL_OBS
+        self.fault_plan = faults
+        self.faults: Optional[FaultInjector] = None
+        if faults is not None and faults.events:
+            self.faults = FaultInjector(faults)
         self.sim = Simulator(obs=self.obs)
         self.obs.tracer.bind_clock(self.sim)
         self.pfs = ParallelFileSystem.build(
@@ -101,6 +114,7 @@ class Session:
             raid_level=config.raid_level,
             prefetch_depth=config.prefetch_depth,
             destage_delay=config.destage_delay,
+            faults=self.faults,
         )
         # Register program files on the striped FS.
         for decl in trace.program.files.values():
@@ -110,6 +124,7 @@ class Session:
             config.n_ionodes,
             latency=config.network_latency,
             bandwidth_bps=config.network_bandwidth_bps,
+            faults=self.faults,
         )
         if self.obs.metrics is not None:
             # Per-link queue-delay histograms are the one metric that must
@@ -179,6 +194,21 @@ class Session:
                     self.buffer,
                     min_lead=self.config.scheduler_min_lead,
                     batch_slots=self.config.scheduler_batch_slots,
+                    fetch_timeout=(
+                        self.faults.fetch_timeout
+                        if self.faults is not None
+                        else None
+                    ),
+                    fetch_retries=(
+                        self.faults.fetch_retries
+                        if self.faults is not None
+                        else 0
+                    ),
+                    fault_counters=(
+                        self.faults.counters
+                        if self.faults is not None
+                        else None
+                    ),
                 )
                 self.scheduler_threads.append(thread)
                 self.sim.process(thread.run(), name=f"sched{pid}")
@@ -210,4 +240,5 @@ class Session:
             scheduler_threads=self.scheduler_threads,
             buffer=self.buffer,
             sim=self.sim,
+            faults=self.faults,
         )

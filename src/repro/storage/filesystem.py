@@ -8,7 +8,7 @@ the whole Table II storage stack (nodes, caches, RAID, drives, policies).
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from typing import TYPE_CHECKING, Callable, Optional
 
 from ..disk.drive import Drive
 from ..disk.specs import DiskSpec
@@ -18,6 +18,9 @@ from .cache import StorageCache
 from .ionode import IONode
 from .raid import RaidMap
 from .striping import Extent, StripedFile, StripeMap
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..faults.injector import FaultInjector
 
 __all__ = ["ParallelFileSystem"]
 
@@ -50,18 +53,32 @@ class ParallelFileSystem:
         raid_level: int = 0,
         prefetch_depth: int = 2,
         destage_delay: float = 0.5,
+        faults: Optional["FaultInjector"] = None,
     ) -> "ParallelFileSystem":
         """Assemble the full storage stack.
 
         ``policy_factory`` produces one fresh power policy per drive
         (spinning down an I/O node means spinning down all of its disks,
         so each drive gets its own instance of the same policy).
+        ``faults`` threads per-drive fault state and the shared fault
+        counters through the stack; ``None`` keeps every fault-free fast
+        path.
         """
         nodes: list[IONode] = []
         for node_id in range(n_nodes):
             drives = []
             for d in range(disks_per_node):
-                drive = Drive(sim, disk_spec, name=f"node{node_id}.disk{d}")
+                name = f"node{node_id}.disk{d}"
+                drive = Drive(
+                    sim,
+                    disk_spec,
+                    name=name,
+                    faults=(
+                        faults.drive_state(name)
+                        if faults is not None
+                        else None
+                    ),
+                )
                 if policy_factory is not None:
                     drive.attach_policy(policy_factory())
                 drives.append(drive)
@@ -76,6 +93,9 @@ class ParallelFileSystem:
                     raid,
                     prefetch_depth=prefetch_depth,
                     destage_delay=destage_delay,
+                    fault_counters=(
+                        faults.counters if faults is not None else None
+                    ),
                 )
             )
         return cls(StripeMap(stripe_size, n_nodes), nodes)

@@ -11,13 +11,16 @@ write-induced busy periods near the writes in the disk timeline.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Optional
+from typing import TYPE_CHECKING, Callable, Optional
 
 from ..disk.drive import DiskRequest, Drive
 from ..sim.engine import Simulator
 from ..sim.events import Event
 from .cache import StorageCache
 from .raid import RaidMap
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..faults.injector import FaultCounters
 
 __all__ = ["IONode", "IONodeStats"]
 
@@ -46,6 +49,7 @@ class IONode:
         raid: RaidMap,
         prefetch_depth: int = 2,
         destage_delay: float = 0.5,
+        fault_counters: Optional["FaultCounters"] = None,
     ):
         if not drives:
             raise ValueError("an I/O node needs at least one drive")
@@ -64,6 +68,14 @@ class IONode:
         self._destage_timer: Optional[Event] = None
         self._last_read_block = -2
         self._tracer = sim.obs.tracer
+        self._fault_counters = fault_counters
+        # Dead-disk routing is consulted per translation, but only when a
+        # disk.fail event can ever kill one of *these* drives — every
+        # other run keeps the fault-free fast path.
+        self._dead_tracking = any(
+            d.fault_state is not None and d.fault_state.can_die
+            for d in drives
+        )
 
     # ------------------------------------------------------------------
     # Read path
@@ -114,6 +126,14 @@ class IONode:
                 on_complete()
 
         ops = self._runs_to_disk_ops(fetch, is_write=False, sequential=sequential)
+        if not ops:
+            # Every physical op was lost to dead disks with no surviving
+            # redundancy (counted by the RAID translation).  Complete the
+            # read anyway — the simulator models degraded timing, not
+            # data recovery — so clients never wedge on a dead stripe.
+            pending["n"] = 1
+            self.sim.schedule(0.0, one_disk_done, None)
+            return
         pending["n"] = len(ops)
         for drive, req in ops:
             req.on_complete = one_disk_done
@@ -189,9 +209,19 @@ class IONode:
                 runs[-1] = (runs[-1][0], runs[-1][1] + bs)
             else:
                 runs.append((offset, bs))
+        dead = None
+        if self._dead_tracking:
+            dead = frozenset(
+                i for i, d in enumerate(self.drives) if d.is_dead
+            )
+            if not dead:
+                dead = None
         out: list[tuple[Drive, DiskRequest]] = []
         for offset, size in runs:
-            for op in self.raid.map(offset, size, is_write):
+            for op in self.raid.map(
+                offset, size, is_write,
+                dead=dead, counters=self._fault_counters,
+            ):
                 req = DiskRequest(
                     lba=op.lba,
                     nbytes=op.nbytes,

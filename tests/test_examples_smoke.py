@@ -1,0 +1,33 @@
+"""Smoke test: every example script runs in-process and exits cleanly.
+
+Examples are living documentation — they rot silently when APIs move.
+Running them under ``runpy`` (same interpreter, real imports, stdout
+captured) keeps them honest without the cost of subprocess startup.
+"""
+
+import contextlib
+import io
+import runpy
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+SCRIPTS = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_directory_found():
+    assert SCRIPTS, f"no example scripts under {EXAMPLES_DIR}"
+
+
+@pytest.mark.parametrize(
+    "script", SCRIPTS, ids=[s.stem for s in SCRIPTS]
+)
+def test_example_runs_clean(script, monkeypatch):
+    # Shrink the env-scaled examples (paper_workloads) to smoke size;
+    # scripts with hard-coded scales are already small.
+    monkeypatch.setenv("REPRO_SCALE", "0.05")
+    out = io.StringIO()
+    with contextlib.redirect_stdout(out):
+        runpy.run_path(str(script), run_name="__main__")
+    assert out.getvalue().strip(), f"{script.name} printed nothing"

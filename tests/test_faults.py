@@ -1,0 +1,423 @@
+"""Unit tests for the fault-injection subsystem (repro.faults).
+
+Plan validation and JSON round-tripping, named seeded streams, the
+per-component fault states, and the drive/buffer recovery paths.  The
+end-to-end degraded runs live in test_faults_integration.py.
+"""
+
+import pytest
+
+from repro.disk import DiskRequest
+from repro.faults import (
+    DriveFaultState,
+    FaultCounters,
+    FaultEvent,
+    FaultInjector,
+    FaultPlan,
+    LinkFaultState,
+    load_plan,
+    plan_from_dict,
+    plan_to_dict,
+    save_plan,
+    stream_rng,
+)
+
+from conftest import drain, make_drive, submit_read
+
+KB = 1024
+
+
+def transient(target="*", time=0.0, duration=100.0, probability=1.0):
+    return FaultEvent(
+        kind="disk.transient_errors", target=target, time=time,
+        duration=duration, probability=probability,
+    )
+
+
+def bad_sectors(target="*", time=0.0, lba_start=0, lba_end=64 * KB):
+    return FaultEvent(
+        kind="disk.bad_sectors", target=target, time=time,
+        lba_start=lba_start, lba_end=lba_end,
+    )
+
+
+class TestPlanValidation:
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultEvent(kind="disk.melt", target="*")
+
+    def test_empty_target(self):
+        with pytest.raises(ValueError, match="empty target"):
+            FaultEvent(kind="disk.fail", target="")
+
+    def test_negative_time(self):
+        with pytest.raises(ValueError, match="negative time"):
+            FaultEvent(kind="disk.fail", target="*", time=-1.0)
+
+    def test_windowed_kinds_need_duration(self):
+        with pytest.raises(ValueError, match="duration"):
+            FaultEvent(
+                kind="node.straggle", target="0", factor=2.0, duration=0.0
+            )
+
+    def test_probability_range(self):
+        with pytest.raises(ValueError, match="probability"):
+            transient(probability=0.0)
+        with pytest.raises(ValueError, match="probability"):
+            transient(probability=1.5)
+
+    def test_bad_sector_extent(self):
+        with pytest.raises(ValueError, match="bad extent"):
+            bad_sectors(lba_start=10, lba_end=10)
+
+    def test_spinup_count(self):
+        with pytest.raises(ValueError, match="count"):
+            FaultEvent(kind="disk.spinup_fail", target="*", count=0)
+
+    def test_straggle_factor(self):
+        with pytest.raises(ValueError, match="factor"):
+            FaultEvent(
+                kind="node.straggle", target="0", duration=1.0, factor=1.0
+            )
+
+    def test_latency_positive(self):
+        with pytest.raises(ValueError, match="extra_latency"):
+            FaultEvent(kind="net.latency", target="0", duration=1.0)
+
+    def test_plan_rejects_non_events(self):
+        with pytest.raises(TypeError):
+            FaultPlan(events=("not an event",))
+
+    def test_plan_knob_validation(self):
+        with pytest.raises(ValueError):
+            FaultPlan(read_retry_limit=0)
+        with pytest.raises(ValueError):
+            FaultPlan(fetch_timeout=0.0)
+        with pytest.raises(ValueError):
+            FaultPlan(fetch_retries=-1)
+
+    def test_empty_plan_is_falsy(self):
+        assert not FaultPlan()
+        assert FaultPlan(events=(FaultEvent(kind="disk.fail", target="*"),))
+
+
+class TestPlanSerialization:
+    def plan(self):
+        return FaultPlan(
+            events=(
+                transient("node0.disk0", probability=0.25),
+                bad_sectors("node1.disk0"),
+                FaultEvent(kind="disk.fail", target="node0.disk1", time=3.0),
+                FaultEvent(
+                    kind="net.loss", target="0", duration=5.0,
+                    probability=0.5,
+                ),
+            ),
+            seed=7,
+            fetch_timeout=2.5,
+        )
+
+    def test_dict_round_trip(self):
+        plan = self.plan()
+        assert plan_from_dict(plan_to_dict(plan)) == plan
+
+    def test_file_round_trip(self, tmp_path):
+        plan = self.plan()
+        path = save_plan(plan, tmp_path / "plan.json")
+        assert load_plan(path) == plan
+
+    def test_unknown_plan_field_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault plan field"):
+            plan_from_dict({"sneed": 3})
+
+    def test_unknown_event_field_rejected(self):
+        with pytest.raises(ValueError, match="unknown field"):
+            plan_from_dict(
+                {"events": [{"kind": "disk.fail", "target": "*",
+                             "severity": 11}]}
+            )
+
+    def test_fetch_timeout_none_round_trips(self, tmp_path):
+        plan = FaultPlan(fetch_timeout=None)
+        path = save_plan(plan, tmp_path / "plan.json")
+        assert load_plan(path).fetch_timeout is None
+
+    def test_to_key_distinguishes_plans(self):
+        base = self.plan()
+        assert base.to_key() == self.plan().to_key()
+        assert base.to_key() != FaultPlan().to_key()
+        reseeded = FaultPlan(events=base.events, seed=base.seed + 1)
+        assert base.to_key() != reseeded.to_key()
+
+    def test_to_key_is_hashable_primitives(self):
+        # The key participates in memo dicts and JSON cache digests.
+        import json
+        key = self.plan().to_key()
+        hash(key)
+        json.dumps(key)
+
+
+class TestStreams:
+    def test_same_name_same_sequence(self):
+        a = [stream_rng(1, "drive:x").random() for _ in range(5)]
+        b = [stream_rng(1, "drive:x").random() for _ in range(5)]
+        assert a == b
+
+    def test_streams_are_independent(self):
+        assert stream_rng(1, "drive:x").random() != \
+            stream_rng(1, "drive:y").random()
+        assert stream_rng(1, "drive:x").random() != \
+            stream_rng(2, "drive:x").random()
+
+
+class TestInjector:
+    def test_untargeted_components_get_none(self):
+        plan = FaultPlan(events=(transient("node0.disk0"),))
+        injector = FaultInjector(plan)
+        assert injector.drive_state("node0.disk0") is not None
+        assert injector.drive_state("node1.disk0") is None
+        assert injector.link_state(0) is None
+
+    def test_wildcard_targets_every_drive(self):
+        injector = FaultInjector(FaultPlan(events=(transient("*"),)))
+        assert injector.drive_state("node0.disk0") is not None
+        assert injector.drive_state("node7.disk3") is not None
+
+    def test_node_target_aliases(self):
+        # "node0" and "0" address the same link.
+        for target in ("node0", "0"):
+            plan = FaultPlan(events=(
+                FaultEvent(kind="node.straggle", target=target,
+                           duration=1.0, factor=2.0),
+            ))
+            injector = FaultInjector(plan)
+            assert injector.link_state(0) is not None
+            assert injector.link_state(1) is None
+
+    def test_injected_tally(self):
+        plan = FaultPlan(events=(transient(), transient(), bad_sectors()))
+        injector = FaultInjector(plan)
+        assert injector.injected == {
+            "disk.transient_errors": 2,
+            "disk.bad_sectors": 1,
+        }
+
+
+class TestDriveFaultState:
+    def make(self, events, **plan_kwargs):
+        counters = FaultCounters()
+        plan = FaultPlan(events=tuple(events), **plan_kwargs)
+        return DriveFaultState("d", list(events), plan, counters), counters
+
+    def test_bad_extent_fails_deterministically(self):
+        fs, counters = self.make([bad_sectors(lba_end=4 * KB)])
+        assert fs.read_attempt_faulty(1.0, 0, KB, retries_so_far=0)
+        assert not fs.read_attempt_faulty(1.0, 8 * KB, KB, 0)
+        assert counters.disk_read_errors == 1
+
+    def test_retry_limit_terminates_reads(self):
+        fs, _ = self.make([bad_sectors()], read_retry_limit=2)
+        assert fs.read_attempt_faulty(0.0, 0, KB, retries_so_far=0)
+        assert fs.read_attempt_faulty(0.0, 0, KB, retries_so_far=1)
+        # At the limit the read is served from the spare reserve.
+        assert not fs.read_attempt_faulty(0.0, 0, KB, retries_so_far=2)
+
+    def test_recovery_remaps_extent(self):
+        fs, counters = self.make([bad_sectors(lba_end=4 * KB)])
+        assert fs.read_attempt_faulty(0.0, 0, KB, 0)
+        fs.read_recovered(0.0, 0, KB, retries=1)
+        assert counters.disk_sector_remaps == 1
+        assert counters.retry_counts == [1]
+        # The remapped extent no longer faults.
+        assert not fs.read_attempt_faulty(1.0, 0, KB, 0)
+
+    def test_transient_window_gates_by_time(self):
+        fs, _ = self.make([transient(time=10.0, duration=5.0)])
+        assert not fs.read_attempt_faulty(9.0, 0, KB, 0)
+        assert fs.read_attempt_faulty(12.0, 0, KB, 0)  # p = 1.0
+        assert not fs.read_attempt_faulty(15.0, 0, KB, 0)
+
+    def test_transient_draws_are_reproducible(self):
+        events = [transient(probability=0.5, duration=1000.0)]
+        outcomes = []
+        for _ in range(2):
+            fs, _ = self.make(events)
+            outcomes.append(
+                [fs.read_attempt_faulty(1.0, 0, KB, 0) for _ in range(32)]
+            )
+        assert outcomes[0] == outcomes[1]
+        assert True in outcomes[0] and False in outcomes[0]
+
+    def test_dead_from(self):
+        fs, _ = self.make(
+            [FaultEvent(kind="disk.fail", target="d", time=5.0)]
+        )
+        assert fs.can_die
+        assert not fs.is_dead(4.9)
+        assert fs.is_dead(5.0)
+
+    def test_spinup_failures_consumed_and_backoff(self):
+        fs, counters = self.make(
+            [FaultEvent(kind="disk.spinup_fail", target="d", count=2)],
+            spinup_retry_base=0.5,
+        )
+        assert fs.spinup_should_fail(1.0)
+        assert fs.spinup_should_fail(2.0)
+        assert not fs.spinup_should_fail(3.0)  # budget exhausted
+        assert counters.disk_failed_spinups == 2
+        assert fs.spinup_retry_delay(0) == 0.5
+        assert fs.spinup_retry_delay(1) == 1.0
+        assert counters.disk_spinup_retries == 2
+
+
+class TestLinkFaultState:
+    def make(self, events, **plan_kwargs):
+        counters = FaultCounters()
+        plan = FaultPlan(events=tuple(events), **plan_kwargs)
+        return LinkFaultState(0, list(events), plan, counters), counters
+
+    def test_crash_holds_transfer_until_window_end(self):
+        lf, counters = self.make([
+            FaultEvent(kind="node.crash", target="0", time=1.0,
+                       duration=4.0),
+        ])
+        start, service, latency = lf.perturb(2.0, 0.1, 0.05)
+        assert start == 5.0
+        assert (service, latency) == (0.1, 0.05)
+        assert counters.net_crash_held == 1
+        # Outside the window: untouched.
+        assert lf.perturb(6.0, 0.1, 0.05) == (6.0, 0.1, 0.05)
+
+    def test_straggle_inflates_service(self):
+        lf, counters = self.make([
+            FaultEvent(kind="node.straggle", target="0", duration=10.0,
+                       factor=3.0),
+        ])
+        _, service, _ = lf.perturb(1.0, 0.2, 0.0)
+        assert service == pytest.approx(0.6)
+        assert counters.net_straggled == 1
+
+    def test_loss_retransmits_deterministic(self):
+        events = [FaultEvent(kind="net.loss", target="0", duration=100.0,
+                             probability=0.5)]
+        runs = []
+        for _ in range(2):
+            lf, counters = self.make(events, retransmit_delay=0.01)
+            runs.append(
+                [lf.perturb(1.0, 0.1, 0.0)[1] for _ in range(32)]
+            )
+        assert runs[0] == runs[1]
+        assert any(s > 0.1 for s in runs[0])
+
+    def test_latency_spike(self):
+        lf, counters = self.make([
+            FaultEvent(kind="net.latency", target="0", duration=10.0,
+                       extra_latency=0.5),
+        ])
+        _, _, latency = lf.perturb(1.0, 0.1, 0.05)
+        assert latency == pytest.approx(0.55)
+        assert counters.net_latency_spiked == 1
+
+
+class TestDriveIntegration:
+    """Faulted reads through a real simulated Drive."""
+
+    def drive_with_faults(self, sim, events, **plan_kwargs):
+        plan = FaultPlan(events=tuple(events), **plan_kwargs)
+        counters = FaultCounters()
+        fs = DriveFaultState("test-disk", list(events), plan, counters)
+        return make_drive(sim, faults=fs), counters
+
+    def test_bad_sector_read_retries_then_recovers(self, sim):
+        drive, counters = self.drive_with_faults(
+            sim, [bad_sectors(lba_end=64 * KB)],
+            read_retry_limit=3, read_retry_penalty=0.015,
+        )
+        req = submit_read(sim, drive, at=0.0, lba=0)
+        clean = submit_read(sim, drive, at=50.0, lba=128 * KB)
+        drain(sim, drive)
+        assert req.retries == 3
+        assert req.end_time > 0
+        assert counters.disk_reads_recovered == 1
+        assert counters.disk_sector_remaps == 1
+        assert clean.retries == 0
+
+    def test_remapped_extent_reads_clean_afterwards(self, sim):
+        drive, counters = self.drive_with_faults(
+            sim, [bad_sectors(lba_end=64 * KB)]
+        )
+        first = submit_read(sim, drive, at=0.0, lba=0)
+        second = submit_read(sim, drive, at=50.0, lba=0)
+        drain(sim, drive)
+        assert first.retries > 0
+        assert second.retries == 0
+        assert counters.disk_sector_remaps == 1
+
+    def test_writes_never_fault(self, sim):
+        drive, counters = self.drive_with_faults(
+            sim, [bad_sectors(lba_end=64 * KB)]
+        )
+        req = DiskRequest(lba=0, nbytes=64 * KB, is_write=True)
+        sim.schedule_at(0.0, drive.submit, req)
+        drain(sim, drive)
+        assert req.retries == 0
+        assert counters.disk_read_errors == 0
+
+    def test_spinup_failure_retries_with_backoff(self, sim):
+        drive, counters = self.drive_with_faults(
+            sim,
+            [FaultEvent(kind="disk.spinup_fail", target="test-disk",
+                        count=2)],
+            spinup_retry_base=0.5,
+        )
+        sim.run(until=0.1)
+        assert drive.spin_down()
+        sim.run(until=5.0)  # fully in standby
+        req = submit_read(sim, drive, at=5.0)
+        drain(sim, drive)
+        assert counters.disk_failed_spinups == 2
+        assert counters.disk_spinup_retries == 2
+        assert drive.stats.spin_ups >= 2
+        assert req.end_time > 0  # the read still completed
+
+    def test_fault_free_drive_untouched(self, sim):
+        drive = make_drive(sim)
+        assert drive.fault_state is None
+        assert not drive.is_dead
+        req = submit_read(sim, drive, at=0.0)
+        drain(sim, drive)
+        assert req.retries == 0
+
+
+class TestBufferReclaim:
+    def buffer(self, sim):
+        from repro.runtime.buffer import GlobalBuffer
+        return GlobalBuffer(sim, capacity_blocks=4)
+
+    def test_reclaim_requires_abandoned_in_flight(self, sim):
+        buf = self.buffer(sim)
+        assert not buf.reclaim(0)  # unknown access
+        buf.begin_fetch(0, blocks=2)
+        assert not buf.reclaim(0)  # still FETCHING, nothing to reclaim
+        buf.abandon(0)
+        assert buf.reclaim(0)
+        assert buf.reclaimed == 1
+        assert buf.abandoned_in_flight == 0
+
+    def test_reclaimed_entry_completes_as_data(self, sim):
+        buf = self.buffer(sim)
+        entry = buf.begin_fetch(0, blocks=2)
+        buf.abandon(0)
+        buf.reclaim(0)
+        buf.complete_fetch(0)
+        from repro.runtime.buffer import EntryState
+        assert entry.state is EntryState.READY
+        buf.consume(0)
+        assert buf.used_blocks == 0
+        assert buf.hits == 1
+
+    def test_ready_entry_cannot_be_reclaimed(self, sim):
+        buf = self.buffer(sim)
+        buf.begin_fetch(0, blocks=1)
+        buf.complete_fetch(0)
+        assert not buf.reclaim(0)

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.faults import FaultCounters
 from repro.storage import RaidMap
 
 KB = 1024
@@ -100,11 +101,27 @@ class TestRaid10:
         assert {op.disk for op in ops} == {0, 1}
         assert all(op.is_write for op in ops)
 
-    def test_reads_round_robin_between_mirrors(self):
+    def test_read_placement_is_pure(self):
+        # Mirror selection is a function of the extent's address only:
+        # repeating the same map() call must pick the same disk, with no
+        # hidden call-history state (regression for the old round-robin).
         raid = RaidMap(10, 4, chunk_size=64 * KB)
         first = raid.map(0, 64 * KB, False)[0].disk
         second = raid.map(0, 64 * KB, False)[0].disk
-        assert {first, second} == {0, 1}
+        assert first == second
+
+    def test_reads_alternate_mirrors_across_rows(self):
+        # Successive stripe rows of the same pair flip between the two
+        # mirror members, so load still spreads without mutable state.
+        raid = RaidMap(10, 4, chunk_size=64 * KB)
+        row_stride = raid.data_disks * 64 * KB
+        disks = [
+            raid.map(row * row_stride, 64 * KB, False)[0].disk
+            for row in range(4)
+        ]
+        assert disks[0] != disks[1]
+        assert disks == [disks[0], disks[1]] * 2
+        assert {disks[0], disks[1]} == {0, 1}
 
     def test_second_pair_used_for_second_chunk(self):
         raid = RaidMap(10, 4, chunk_size=64 * KB)
@@ -113,3 +130,107 @@ class TestRaid10:
 
     def test_data_disks_count(self):
         assert RaidMap(10, 4).data_disks == 2
+
+
+class TestDegradedMode:
+    """Translation with a ``dead`` set routes around failed members."""
+
+    def test_raid0_dead_disk_loses_op(self):
+        raid = RaidMap(0, 4, chunk_size=64 * KB)
+        counters = FaultCounters()
+        ops = raid.map(0, 64 * KB, False, dead={0}, counters=counters)
+        assert ops == []
+        assert counters.raid_lost_ops == 1
+
+    def test_raid5_read_reconstructs_from_survivors(self):
+        raid = RaidMap(5, 4, chunk_size=64 * KB)
+        clean = raid.map(0, 64 * KB, False)
+        assert len(clean) == 1
+        counters = FaultCounters()
+        ops = raid.map(
+            0, 64 * KB, False, dead={clean[0].disk}, counters=counters
+        )
+        # Parity reconstruction reads every surviving disk of the stripe.
+        assert len(ops) == raid.n_disks - 1
+        assert all(not op.is_write for op in ops)
+        assert clean[0].disk not in {op.disk for op in ops}
+        assert counters.raid_degraded_reads == 1
+        assert counters.raid_reconstructed == 1
+        assert counters.raid_lost_ops == 0
+
+    def test_raid5_double_failure_is_lost(self):
+        raid = RaidMap(5, 4, chunk_size=64 * KB)
+        data_disk = raid.map(0, 64 * KB, False)[0].disk
+        other_dead = next(
+            d for d in range(raid.n_disks) if d != data_disk
+        )
+        counters = FaultCounters()
+        ops = raid.map(
+            0, 64 * KB, False,
+            dead={data_disk, other_dead}, counters=counters,
+        )
+        assert ops == []
+        assert counters.raid_degraded_reads == 1
+        assert counters.raid_reconstructed == 0
+        assert counters.raid_lost_ops == 1
+
+    def test_raid5_write_with_dead_data_disk(self):
+        raid = RaidMap(5, 4, chunk_size=64 * KB)
+        writes = [
+            op for op in raid.map(0, 64 * KB, True) if op.is_write
+        ]
+        data_disk, parity_disk = writes[0].disk, writes[1].disk
+        counters = FaultCounters()
+        ops = raid.map(
+            0, 64 * KB, True, dead={data_disk}, counters=counters
+        )
+        # New parity = XOR(new data, surviving data chunks): read those,
+        # then write parity only.
+        assert [op for op in ops if op.is_write] == [
+            op for op in ops if op.disk == parity_disk
+        ]
+        assert data_disk not in {op.disk for op in ops}
+        assert counters.raid_degraded_writes == 1
+
+    def test_raid5_write_with_dead_parity_disk(self):
+        raid = RaidMap(5, 4, chunk_size=64 * KB)
+        writes = [
+            op for op in raid.map(0, 64 * KB, True) if op.is_write
+        ]
+        data_disk, parity_disk = writes[0].disk, writes[1].disk
+        counters = FaultCounters()
+        ops = raid.map(
+            0, 64 * KB, True, dead={parity_disk}, counters=counters
+        )
+        assert ops == [op for op in ops if op.disk == data_disk]
+        assert len(ops) == 1 and ops[0].is_write
+        assert counters.raid_degraded_writes == 1
+
+    def test_raid10_read_fails_over_to_mirror(self):
+        raid = RaidMap(10, 4, chunk_size=64 * KB)
+        chosen = raid.map(0, 64 * KB, False)[0].disk
+        other = chosen ^ 1
+        counters = FaultCounters()
+        ops = raid.map(0, 64 * KB, False, dead={chosen}, counters=counters)
+        assert [op.disk for op in ops] == [other]
+        assert counters.raid_failed_over == 1
+
+    def test_raid10_whole_pair_dead_is_lost(self):
+        raid = RaidMap(10, 4, chunk_size=64 * KB)
+        counters = FaultCounters()
+        ops = raid.map(0, 64 * KB, False, dead={0, 1}, counters=counters)
+        assert ops == []
+        assert counters.raid_lost_ops == 1
+
+    def test_raid10_write_skips_dead_mirror(self):
+        raid = RaidMap(10, 4, chunk_size=64 * KB)
+        counters = FaultCounters()
+        ops = raid.map(0, 64 * KB, True, dead={1}, counters=counters)
+        assert [op.disk for op in ops] == [0]
+        assert counters.raid_degraded_writes == 1
+
+    def test_degraded_translation_is_pure(self):
+        raid = RaidMap(5, 4, chunk_size=64 * KB)
+        first = raid.map(0, 256 * KB, False, dead={1})
+        second = raid.map(0, 256 * KB, False, dead={1})
+        assert first == second
