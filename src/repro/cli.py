@@ -1,11 +1,14 @@
 """Command-line interface.
 
-Eight subcommands:
+Nine subcommands:
 
 * ``list`` — the registered workloads and policies;
 * ``run`` — simulate one (workload, policy, scheme) combination and print
   the measured energy, performance and idle statistics;
 * ``figure`` — regenerate one table/figure of the paper's evaluation;
+* ``resume`` — re-dispatch an interrupted ``run``/``figure`` campaign
+  from its ``--journal`` file; finished points return as cache hits, so
+  the merged output is bit-identical to an uninterrupted run;
 * ``bench`` — time the figure grid (serial vs parallel vs warm cache) and
   write a ``BENCH_*.json`` perf record; with ``--trace`` it also times a
   traced pass and ``--max-trace-overhead`` gates the slowdown;
@@ -29,6 +32,14 @@ PATH`` (JSONL span trace of every simulated point; forces serial) and
 ``--metrics PATH`` (merged metrics snapshot; per-point files are merged
 deterministically, so parallel workers are fine).
 
+Both simulate under the campaign supervisor: ``--retries N`` retries a
+crashed point with deterministic seeded backoff, ``--timeout SEC`` arms
+a per-point watchdog (the hung worker's pool is respawned), worker
+deaths recover via pool respawn + quarantine, ``--keep-going`` collects
+every failure instead of aborting on the first, and ``--journal PATH``
+checkpoints each point's outcome so ``repro resume PATH`` can continue
+after a SIGINT or crash.
+
 Examples::
 
     python -m repro list
@@ -37,6 +48,9 @@ Examples::
         --trace out.jsonl --metrics out.json
     python -m repro report out.json --filter 'drive.*'
     python -m repro figure fig12c --scale 0.1 --jobs 4
+    python -m repro figure fig12c --scale 0.1 --jobs 4 \\
+        --retries 2 --timeout 300 --journal fig12c.journal
+    python -m repro resume fig12c.journal
     python -m repro bench --quick --jobs 4
     python -m repro bench --quick --trace trace.jsonl --max-trace-overhead 0.05
     python -m repro schedule --app hf --scale 0.1 --timeline
@@ -104,6 +118,27 @@ def _add_exec_flags(sub_parser: argparse.ArgumentParser) -> None:
     sub_parser.add_argument(
         "--no-cache", action="store_true",
         help="neither read nor write the on-disk result cache")
+    sub_parser.add_argument(
+        "--timeout", type=float, default=None, metavar="SEC",
+        help="per-point watchdog: a point still running after SEC seconds "
+        "has its worker pool respawned and is retried")
+    sub_parser.add_argument(
+        "--retries", type=int, default=1, metavar="N",
+        help="extra attempts for a crashed/timed-out point, with "
+        "deterministic seeded backoff (default: 1)")
+    group = sub_parser.add_mutually_exclusive_group()
+    group.add_argument(
+        "--keep-going", action="store_true",
+        help="collect every point failure and finish the rest of the "
+        "campaign instead of aborting on the first")
+    group.add_argument(
+        "--fail-fast", action="store_true",
+        help="abort on the first point failure (the default; completed "
+        "siblings' results are still cached)")
+    sub_parser.add_argument(
+        "--journal", default=None, metavar="PATH",
+        help="append each point's outcome to a JSONL campaign journal; "
+        "continue an interrupted campaign with 'repro resume PATH'")
 
 
 def _add_obs_flags(sub_parser: argparse.ArgumentParser) -> None:
@@ -159,6 +194,15 @@ def build_parser() -> argparse.ArgumentParser:
                        "point of the figure")
     _add_exec_flags(fig_p)
     _add_obs_flags(fig_p)
+
+    resume_p = sub.add_parser(
+        "resume",
+        help="continue an interrupted campaign from its --journal file",
+    )
+    resume_p.add_argument("journal", metavar="JOURNAL",
+                          help="journal written by run/figure --journal")
+    resume_p.add_argument("--jobs", type=int, default=None, metavar="N",
+                          help="override the journaled worker count")
 
     bench_p = sub.add_parser(
         "bench", help="time the figure grid and write a BENCH_*.json record"
@@ -249,21 +293,28 @@ def _config(args) -> "ExperimentConfig":
     return cfg.scaled(**overrides) if overrides else cfg
 
 
+def _resolved_cache_dir(args) -> Optional[str]:
+    """The cache directory this invocation will use (None = --no-cache),
+    absolute so a journal can be resumed from any working directory."""
+    import os
+
+    if getattr(args, "no_cache", False):
+        return None
+    return os.path.abspath(
+        getattr(args, "cache_dir", None)
+        or os.environ.get("REPRO_CACHE_DIR")
+        or ".repro-cache"
+    )
+
+
 def _executor(args):
     """Build (executor, cache) from the shared --jobs/--cache/obs flags."""
-    import os
     import tempfile
 
     from .exec import ExperimentExecutor, ResultCache
 
-    cache = None
-    if not getattr(args, "no_cache", False):
-        cache_dir = (
-            getattr(args, "cache_dir", None)
-            or os.environ.get("REPRO_CACHE_DIR")
-            or ".repro-cache"
-        )
-        cache = ResultCache(cache_dir)
+    cache_dir = _resolved_cache_dir(args)
+    cache = ResultCache(cache_dir) if cache_dir is not None else None
     metrics_dir = None
     if getattr(args, "metrics", None):
         # Per-point snapshots land in a scratch dir; the command merges
@@ -277,6 +328,94 @@ def _executor(args):
         trace_detail=getattr(args, "trace_detail", False),
     )
     return executor, cache
+
+
+def _campaign_argv(args, command: str) -> list[str]:
+    """The canonical argv a journal header records for ``repro resume``.
+
+    Reconstructed from the parsed namespace (not ``sys.argv``) so
+    programmatic invocations journal correctly too; paths are made
+    absolute so resume works from any working directory.
+    """
+    import os
+
+    argv: list[str] = [command]
+    if command == "figure":
+        argv.append(args.name)
+    else:
+        argv += ["--app", args.app, "--policy", args.policy]
+        if args.scheme:
+            argv.append("--scheme")
+        for flag, attr in (
+            ("--clients", "clients"), ("--ionodes", "ionodes"),
+            ("--delta", "delta"), ("--theta", "theta"),
+        ):
+            value = getattr(args, attr, None)
+            if value is not None:
+                argv += [flag, str(value)]
+    if args.scale is not None:
+        argv += ["--scale", repr(args.scale)]
+    if getattr(args, "faults", None):
+        argv += ["--faults", os.path.abspath(args.faults)]
+    argv += ["--jobs", str(args.jobs)]
+    if args.no_cache:
+        argv.append("--no-cache")
+    else:
+        argv += ["--cache-dir", _resolved_cache_dir(args)]
+    if args.timeout is not None:
+        argv += ["--timeout", repr(args.timeout)]
+    argv += ["--retries", str(args.retries)]
+    if args.keep_going:
+        argv.append("--keep-going")
+    if getattr(args, "trace", None):
+        argv += ["--trace", os.path.abspath(args.trace)]
+        if args.trace_detail:
+            argv.append("--trace-detail")
+    if getattr(args, "metrics", None):
+        argv += ["--metrics", os.path.abspath(args.metrics)]
+    argv += ["--journal", os.path.abspath(args.journal)]
+    return argv
+
+
+def _supervisor(args, executor, command: str):
+    """The campaign supervisor for a run/figure invocation (always built:
+    with default flags it adds nothing but crash-retry to the executor)."""
+    from .exec import CampaignJournal, CampaignSupervisor, SupervisorPolicy
+
+    journal = None
+    if args.journal:
+        journal = CampaignJournal(
+            args.journal, argv=_campaign_argv(args, command)
+        )
+    policy = SupervisorPolicy(
+        timeout=args.timeout,
+        retries=args.retries,
+        keep_going=args.keep_going,
+    )
+    return CampaignSupervisor(executor, policy, journal=journal)
+
+
+def _close_journal(supervisor) -> None:
+    if supervisor.journal is not None:
+        supervisor.journal.close()
+
+
+def _interrupted(args) -> int:
+    print("interrupted", file=sys.stderr)
+    if getattr(args, "journal", None):
+        print(
+            f"resume with: repro resume {args.journal}", file=sys.stderr
+        )
+    return 130
+
+
+def _report_failures(report, out) -> None:
+    print(report.summary(), file=sys.stderr)
+    for failure in report.failures:
+        print(
+            f"  {failure.label}: [{failure.outcome}] {failure.error}",
+            file=sys.stderr,
+        )
 
 
 def _finish_obs(args, executor) -> None:
@@ -305,24 +444,46 @@ def cmd_list(_args, out) -> int:
 
 
 def cmd_run(args, out) -> int:
-    from .exec import ExperimentExecutor, RunPoint
+    from .exec import (
+        CampaignFailed,
+        ExperimentExecutor,
+        PointTimeout,
+        RunPoint,
+        VerifyFailure,
+        WorkerFailure,
+    )
 
     cfg = _config(args)
     executor, cache = _executor(args)
+    supervisor = _supervisor(args, executor, "run")
     runner = Runner(cfg, cache=cache)
     base_point = RunPoint(args.app, "default", False, cfg)
     target_point = RunPoint(args.app, args.policy, args.scheme, cfg)
-    if executor.observed:
-        # Only the requested configuration runs instrumented: merging the
-        # baseline's gauges in (max semantics) would make the snapshot
-        # describe neither run — in particular the per-family energy
-        # gauges would no longer sum to the total exactly.
-        if target_point != base_point:
-            plain = ExperimentExecutor(jobs=args.jobs, cache=cache)
-            plain.warm_runner(runner, [base_point])
-        executor.warm_runner(runner, [target_point])
-    else:
-        executor.warm_runner(runner, [base_point, target_point])
+    try:
+        if executor.observed:
+            # Only the requested configuration runs instrumented: merging
+            # the baseline's gauges in (max semantics) would make the
+            # snapshot describe neither run — in particular the
+            # per-family energy gauges would no longer sum to the total
+            # exactly.
+            if target_point != base_point:
+                plain = ExperimentExecutor(jobs=args.jobs, cache=cache)
+                plain.warm_runner(runner, [base_point])
+            report = supervisor.warm_runner(runner, [target_point])
+        else:
+            report = supervisor.warm_runner(
+                runner, [base_point, target_point]
+            )
+    except KeyboardInterrupt:
+        return _interrupted(args)
+    except (VerifyFailure, WorkerFailure, PointTimeout, CampaignFailed) as exc:
+        print(f"campaign failed: {exc}", file=sys.stderr)
+        return 1
+    finally:
+        _close_journal(supervisor)
+    if report.failures:
+        _report_failures(report, out)
+        return 1
     _finish_obs(args, executor)
     base = runner.baseline(args.app)
     run = runner.run(args.app, args.policy, args.scheme)
@@ -353,7 +514,13 @@ def cmd_run(args, out) -> int:
 
 
 def cmd_figure(args, out) -> int:
-    from .exec import figure_points
+    from .exec import (
+        CampaignFailed,
+        PointTimeout,
+        VerifyFailure,
+        WorkerFailure,
+        figure_points,
+    )
 
     cfg = default_config(scale=args.scale)
     if getattr(args, "faults", None):
@@ -361,8 +528,22 @@ def cmd_figure(args, out) -> int:
 
         cfg = cfg.scaled(fault_plan=load_plan(args.faults))
     executor, cache = _executor(args)
+    supervisor = _supervisor(args, executor, "figure")
     runner = Runner(cfg, cache=cache)
-    executor.warm_runner(runner, figure_points(args.name, cfg))
+    try:
+        report = supervisor.warm_runner(runner, figure_points(args.name, cfg))
+    except KeyboardInterrupt:
+        return _interrupted(args)
+    except (VerifyFailure, WorkerFailure, PointTimeout, CampaignFailed) as exc:
+        print(f"campaign failed: {exc}", file=sys.stderr)
+        return 1
+    finally:
+        _close_journal(supervisor)
+    if report.failures:
+        # Rendering would silently re-simulate the missing points
+        # in-process; report the partial campaign instead.
+        _report_failures(report, out)
+        return 1
     _finish_obs(args, executor)
     result = FIGURES[args.name](runner)
     print(result.text, file=out)
@@ -373,6 +554,38 @@ def cmd_figure(args, out) -> int:
         file=sys.stderr,
     )
     return 0
+
+
+def cmd_resume(args, out) -> int:
+    """Re-dispatch the argv a campaign journal recorded at launch."""
+    from .exec import load_journal
+
+    try:
+        header, entries = load_journal(args.journal)
+    except (OSError, ValueError) as exc:
+        print(f"cannot resume: {exc}", file=sys.stderr)
+        return 2
+    argv = [str(piece) for piece in header["argv"]]
+    if args.jobs is not None:
+        if "--jobs" in argv:
+            argv[argv.index("--jobs") + 1] = str(args.jobs)
+        else:
+            argv += ["--jobs", str(args.jobs)]
+    outcomes: dict[str, int] = {}
+    for entry in entries.values():
+        outcome = entry.get("outcome", "?")
+        outcomes[outcome] = outcomes.get(outcome, 0) + 1
+    journaled = " ".join(
+        f"{name}={count}" for name, count in sorted(outcomes.items())
+    )
+    print(
+        f"[resume] {len(entries)} journaled point(s)"
+        + (f" ({journaled})" if journaled else "")
+        + f"; re-dispatching: {' '.join(argv)}",
+        file=sys.stderr,
+    )
+    resumed = build_parser().parse_args(argv)
+    return _HANDLERS[resumed.command](resumed, out)
 
 
 def cmd_bench(args, out) -> int:
@@ -501,21 +714,24 @@ def cmd_lint(args, out) -> int:
     return 1 if failed else 0
 
 
+_HANDLERS = {
+    "list": cmd_list,
+    "run": cmd_run,
+    "figure": cmd_figure,
+    "resume": cmd_resume,
+    "bench": cmd_bench,
+    "report": cmd_report,
+    "schedule": cmd_schedule,
+    "verify": cmd_verify,
+    "lint": cmd_lint,
+}
+
+
 def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
     """Entry point; returns the process exit code."""
     out = out or sys.stdout
     args = build_parser().parse_args(argv)
-    handlers = {
-        "list": cmd_list,
-        "run": cmd_run,
-        "figure": cmd_figure,
-        "bench": cmd_bench,
-        "report": cmd_report,
-        "schedule": cmd_schedule,
-        "verify": cmd_verify,
-        "lint": cmd_lint,
-    }
-    return handlers[args.command](args, out)
+    return _HANDLERS[args.command](args, out)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -11,6 +11,9 @@ Layout:
 * :mod:`~repro.exec.executor` — :class:`ExperimentExecutor` and the
   worker entry points (one shared Runner per worker, verify gating);
 * :mod:`~repro.exec.grid` — which run points each paper figure consumes;
+* :mod:`~repro.exec.supervise` — :class:`CampaignSupervisor`: watchdog
+  timeouts, seeded-backoff retries, worker-crash recovery/quarantine,
+  the resumable JSONL campaign journal and partial-failure reports;
 * :mod:`~repro.exec.bench` — timed grid execution and ``BENCH_*.json``
   perf records.
 """
@@ -32,13 +35,28 @@ from .grid import (
     with_fault_plan,
 )
 from .serialize import (
+    JOURNAL_SCHEMA_VERSION,
     SCHEMA_VERSION,
     run_result_from_dict,
     run_result_to_dict,
 )
+from .supervise import (
+    BOUNDARY_ERRORS,
+    CampaignFailed,
+    CampaignJournal,
+    CampaignReport,
+    CampaignSupervisor,
+    PointFailure,
+    PointTimeout,
+    SupervisorPolicy,
+    WorkerFailure,
+    backoff_delay,
+    load_journal,
+)
 
 __all__ = [
     "SCHEMA_VERSION",
+    "JOURNAL_SCHEMA_VERSION",
     "run_result_to_dict",
     "run_result_from_dict",
     "point_digest",
@@ -57,4 +75,15 @@ __all__ = [
     "QUICK_FIGURES",
     "run_bench",
     "write_bench_record",
+    "BOUNDARY_ERRORS",
+    "CampaignFailed",
+    "CampaignJournal",
+    "CampaignReport",
+    "CampaignSupervisor",
+    "PointFailure",
+    "PointTimeout",
+    "SupervisorPolicy",
+    "WorkerFailure",
+    "backoff_delay",
+    "load_journal",
 ]

@@ -5,6 +5,12 @@ the executor, then a warm-cache replay — and writes a ``BENCH_*.json``
 perf record so successive PRs have a wall-clock trajectory to compare
 against.  The warm pass doubles as an end-to-end cache check: it must
 perform **zero** simulations.
+
+The parallel pass runs under the campaign supervisor in keep-going mode,
+and the record carries a schema-stable ``failures`` block (count, retry/
+timeout/worker-death/quarantine tallies, failed point labels — all zero/
+empty on a clean run), so BENCH JSON stays comparable under partial
+failure instead of the record simply not existing.
 """
 
 from __future__ import annotations
@@ -24,6 +30,7 @@ from .cache import ResultCache
 from .executor import ExperimentExecutor, RunPoint, execute_point
 from .grid import GRID_FIGURES, all_figure_points
 from .serialize import SCHEMA_VERSION
+from .supervise import CampaignSupervisor, SupervisorPolicy
 
 __all__ = ["QUICK_FIGURES", "run_bench", "write_bench_record"]
 
@@ -171,10 +178,17 @@ def run_bench(
         executor = ExperimentExecutor(
             jobs=jobs, cache=cold_cache, verify=verify
         )
+        supervisor = CampaignSupervisor(
+            executor, SupervisorPolicy(keep_going=True)
+        )
         start = time.perf_counter()
-        executor.run_points(points)
+        report = supervisor.run_points(points)
         record["parallel_seconds"] = round(time.perf_counter() - start, 4)
         record["parallel"] = executor.stats.as_dict()
+        # Schema-stable even on clean runs, so BENCH consumers can key on
+        # it unconditionally; a partial failure shows up here instead of
+        # truncating the record.
+        record["failures"] = report.failures_block()
 
         warm = ExperimentExecutor(
             jobs=jobs, cache=ResultCache(Path(cache_dir)), verify=verify

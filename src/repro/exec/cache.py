@@ -60,6 +60,7 @@ class CacheStats:
     misses: int = 0
     stores: int = 0
     invalid: int = 0  # unreadable/corrupt entries treated as misses
+    orphans_swept: int = 0  # .tmp-* files left behind by crashed writers
 
     def as_dict(self) -> dict[str, int]:
         return {
@@ -67,6 +68,7 @@ class CacheStats:
             "misses": self.misses,
             "stores": self.stores,
             "invalid": self.invalid,
+            "orphans_swept": self.orphans_swept,
         }
 
 
@@ -80,8 +82,28 @@ class ResultCache:
     def __post_init__(self) -> None:
         self.root = Path(self.root)
         self.root.mkdir(parents=True, exist_ok=True)
+        self.sweep_orphans()
 
     # ------------------------------------------------------------------
+    def sweep_orphans(self) -> int:
+        """Delete ``.tmp-*`` files abandoned by crashed writers.
+
+        A writer that dies between ``mkstemp`` and ``os.replace`` leaves
+        its tempfile behind; without a sweep they accumulate forever.
+        Racing a *live* writer is harmless: its ``os.replace`` then fails
+        with ``FileNotFoundError`` and :meth:`store` retries with a fresh
+        tempfile.
+        """
+        removed = 0
+        for orphan in self.root.glob("*/.tmp-*"):
+            try:
+                orphan.unlink()
+            except OSError:
+                continue  # a concurrent sweep got there first
+            removed += 1
+        self.stats.orphans_swept += removed
+        return removed
+
     def path_for(self, digest: str) -> Path:
         return self.root / digest[:2] / f"{digest}.json"
 
@@ -121,30 +143,49 @@ class ResultCache:
         path = self.path_for(point_digest(config, workload, policy, scheme))
         path.parent.mkdir(parents=True, exist_ok=True)
         payload = canonical_dumps(run_result_to_dict(result))
-        fd, tmp = tempfile.mkstemp(
-            dir=path.parent, prefix=".tmp-", suffix=".json"
-        )
-        try:
-            with os.fdopen(fd, "w", encoding="utf-8") as fh:
-                fh.write(payload)
-            os.replace(tmp, path)
-        except BaseException:
+        # Two attempts: a concurrent cache's orphan sweep may unlink our
+        # live tempfile between mkstemp and os.replace.
+        for attempt in (0, 1):
+            fd, tmp = tempfile.mkstemp(
+                dir=path.parent, prefix=".tmp-", suffix=".json"
+            )
             try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
+                with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                    fh.write(payload)
+                os.replace(tmp, path)
+            except FileNotFoundError:
+                if attempt:
+                    raise
+                continue
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+            break
         self.stats.stores += 1
         return path
 
     # ------------------------------------------------------------------
+    def _entries(self):
+        # pathlib's glob matches dotfiles, so in-flight/orphaned
+        # ``.tmp-*.json`` writer files must be filtered out explicitly.
+        return (
+            p
+            for p in self.root.glob("*/*.json")
+            if not p.name.startswith(".tmp-")
+        )
+
     def __len__(self) -> int:
-        return sum(1 for _ in self.root.glob("*/*.json"))
+        return sum(1 for _ in self._entries())
 
     def clear(self) -> int:
-        """Delete every cached entry; returns how many were removed."""
+        """Delete every cached entry (and sweep writer orphans); returns
+        how many *entries* were removed."""
+        self.sweep_orphans()
         removed = 0
-        for entry in self.root.glob("*/*.json"):
+        for entry in self._entries():
             entry.unlink()
             removed += 1
         return removed

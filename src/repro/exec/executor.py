@@ -233,6 +233,37 @@ class ExperimentExecutor:
         Duplicate points are resolved once.  Results are deterministic and
         independent of ``jobs``.
         """
+        results, misses = self.resolve_cached(points)
+        if misses:
+            serial = (
+                self.jobs <= 1
+                or len(misses) == 1
+                or self.trace_path is not None
+            )
+            if serial:
+                self._run_serial(misses, results)
+            else:
+                self._run_parallel(misses, results)
+            for point in misses:
+                if point in results:
+                    self.store_result(point, results[point])
+            self.stats.simulated += len(misses)
+        return results
+
+    # ------------------------------------------------------------------
+    # Building blocks shared with the campaign supervisor
+    # (:mod:`repro.exec.supervise`), which replaces the one-shot
+    # parallel pass below with a retrying, journaling one.
+    # ------------------------------------------------------------------
+    def resolve_cached(
+        self, points: Iterable[RunPoint]
+    ) -> tuple[dict[RunPoint, RunResult], list[RunPoint]]:
+        """Dedupe ``points`` and resolve them against the cache.
+
+        Returns ``(results, misses)``; updates ``stats.points`` and
+        ``stats.cache_hits``.  Observed executors never read the cache
+        (a hit would carry no telemetry).
+        """
         unique: list[RunPoint] = []
         seen: set[RunPoint] = set()
         for point in points:
@@ -254,61 +285,59 @@ class ExperimentExecutor:
             else:
                 misses.append(point)
         self.stats.points += len(unique)
+        return results, misses
 
-        if misses:
-            serial = (
-                self.jobs <= 1
-                or len(misses) == 1
-                or self.trace_path is not None
+    def store_result(self, point: RunPoint, result: RunResult) -> None:
+        """Persist one fresh result (no-op without a cache)."""
+        if self.cache is not None:
+            self.cache.store(
+                point.config, point.workload, point.policy, point.scheme,
+                result,
             )
-            if serial:
-                self._run_serial(misses, results)
-            else:
-                self._run_parallel(misses, results)
-            if self.cache is not None:
-                for point in misses:
-                    self.cache.store(
-                        point.config,
-                        point.workload,
-                        point.policy,
-                        point.scheme,
-                        results[point],
-                    )
-            self.stats.simulated += len(misses)
-        return results
+
+    def open_tracer(self):
+        """The serial-pass tracer, or None when tracing is off."""
+        if self.trace_path is None:
+            return None
+        from ..obs.tracer import JsonlTracer
+
+        return JsonlTracer(self.trace_path, detail=self.trace_detail)
+
+    def point_observability(
+        self, tracer, point: RunPoint
+    ) -> Optional[Observability]:
+        """The per-point observability context for a serial pass."""
+        if not self.observed:
+            return None
+        registry = (
+            MetricsRegistry() if self.metrics_dir is not None else None
+        )
+        if tracer is not None:
+            tracer.set_context(point=point.label())
+        return Observability(tracer=tracer, metrics=registry)
+
+    def write_point_metrics(
+        self, obs: Optional[Observability], point: RunPoint
+    ) -> None:
+        """Flush one point's metrics snapshot (no-op without metrics)."""
+        if obs is not None and obs.metrics is not None:
+            write_snapshot(
+                obs.metrics.snapshot(),
+                metrics_path_for(self.metrics_dir, point),
+            )
 
     def _run_serial(
         self, misses: Sequence[RunPoint], results: dict[RunPoint, RunResult]
     ) -> None:
         runner = Runner(misses[0].config)
-        tracer = None
-        if self.trace_path is not None:
-            from ..obs.tracer import JsonlTracer
-
-            tracer = JsonlTracer(self.trace_path, detail=self.trace_detail)
+        tracer = self.open_tracer()
         try:
             for point in misses:
-                obs = None
-                if self.observed:
-                    registry = (
-                        MetricsRegistry()
-                        if self.metrics_dir is not None
-                        else None
-                    )
-                    if tracer is not None:
-                        tracer.set_context(point=point.label())
-                    obs = Observability(
-                        tracer=tracer if tracer is not None else None,
-                        metrics=registry,
-                    )
+                obs = self.point_observability(tracer, point)
                 results[point] = execute_point(
                     runner, point, verify=self.verify, obs=obs
                 )
-                if obs is not None and obs.metrics is not None:
-                    write_snapshot(
-                        obs.metrics.snapshot(),
-                        metrics_path_for(self.metrics_dir, point),
-                    )
+                self.write_point_metrics(obs, point)
         finally:
             if tracer is not None:
                 tracer.close()
@@ -325,17 +354,28 @@ class ExperimentExecutor:
                 for point in misses
             }
             done, not_done = wait(futures, return_when=FIRST_EXCEPTION)
-            error = next(
-                (f.exception() for f in done if f.exception() is not None),
-                None,
-            )
+            error = None
+            completed: list[RunPoint] = []
+            for future in done:
+                exc = future.exception()
+                if exc is not None:
+                    if error is None:
+                        error = exc
+                    continue
+                point = futures[future]
+                results[point] = future.result()
+                completed.append(point)
             if error is not None:
+                # Siblings that finished before the failure keep their
+                # results: they stay in ``results`` and go to the cache
+                # now (run_points only stores on clean returns), so a
+                # partial campaign is never silently thrown away.
+                for point in completed:
+                    self.store_result(point, results[point])
                 for future in not_done:
                     future.cancel()
                 pool.shutdown(wait=False, cancel_futures=True)
                 raise error
-            for future, point in futures.items():
-                results[point] = future.result()
         except BaseException:
             pool.shutdown(wait=False, cancel_futures=True)
             raise

@@ -23,11 +23,15 @@ from ..metrics.idle import IdleCDF
 
 __all__ = [
     "SCHEMA_VERSION",
+    "JOURNAL_SCHEMA_VERSION",
     "canonical_dumps",
     "idle_cdf_to_dict",
     "idle_cdf_from_dict",
     "run_result_to_dict",
     "run_result_from_dict",
+    "journal_header",
+    "journal_entry",
+    "parse_journal_line",
 ]
 
 #: Cache/output schema + simulation-semantics version.
@@ -40,9 +44,63 @@ __all__ = [
 SCHEMA_VERSION = 3
 
 
+#: Layout version of the campaign journal (`repro resume`).  Independent
+#: of :data:`SCHEMA_VERSION`: the journal stores only point digests and
+#: outcomes, never results, so result-semantics bumps do not invalidate
+#: journals — the digests simply stop matching anything in the cache and
+#: the points re-run.
+JOURNAL_SCHEMA_VERSION = 1
+
+
 def canonical_dumps(obj: Any) -> str:
     """Deterministic JSON: sorted keys, no insignificant whitespace."""
     return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+# ----------------------------------------------------------------------
+# Campaign journal records.  One JSONL line per event: a single header
+# naming the campaign (the exact CLI argv to re-dispatch on resume),
+# then one entry per point *outcome*.  Entries are append-only and
+# last-entry-wins per digest, so a journal is valid after being cut off
+# at any line boundary — the property SIGINT-safe checkpointing needs.
+# ----------------------------------------------------------------------
+def journal_header(argv: list[str]) -> dict[str, Any]:
+    """The first line of a campaign journal: how to re-run the campaign."""
+    return {
+        "kind": "campaign-journal",
+        "schema": JOURNAL_SCHEMA_VERSION,
+        "argv": list(argv),
+    }
+
+
+def journal_entry(
+    digest: str, label: str, outcome: str, attempts: int = 0
+) -> dict[str, Any]:
+    """One point-outcome line (``ok``/``cached``/``failed``/``timeout``/
+    ``quarantined``/``retried``)."""
+    return {
+        "digest": digest,
+        "label": label,
+        "outcome": outcome,
+        "attempts": attempts,
+    }
+
+
+def parse_journal_line(line: str) -> dict[str, Any] | None:
+    """Decode one journal line; ``None`` for blank or truncated lines.
+
+    A crashed writer can leave a final partial line; tolerating it (rather
+    than failing the whole resume) is deliberate — every *complete* line
+    was flushed before the next point started, so nothing else is at risk.
+    """
+    line = line.strip()
+    if not line:
+        return None
+    try:
+        record = json.loads(line)
+    except ValueError:
+        return None
+    return record if isinstance(record, dict) else None
 
 
 def idle_cdf_to_dict(cdf: IdleCDF) -> dict[str, Any]:

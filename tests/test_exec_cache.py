@@ -151,3 +151,59 @@ class TestResultCache:
         b = second.run("sar", "simple", False)
         assert second.simulations == 0
         assert a == b
+
+
+class TestOrphanSweep:
+    """``.tmp-*`` files abandoned by crashed writers must not accumulate."""
+
+    def orphan(self, root, name="aa"):
+        fan = root / name
+        fan.mkdir(parents=True, exist_ok=True)
+        path = fan / ".tmp-dead-writer.json"
+        path.write_text("{", encoding="utf-8")
+        return path
+
+    def test_init_sweeps_and_counts_orphans(self, tmp_path):
+        dead = [self.orphan(tmp_path, fan) for fan in ("aa", "bb", "bb")]
+        cache = ResultCache(tmp_path)
+        assert cache.stats.orphans_swept == 2  # two distinct files
+        assert not any(p.exists() for p in dead)
+        assert "orphans_swept" in cache.stats.as_dict()
+
+    def test_clear_sweeps_orphans_but_counts_only_entries(self, tmp_path,
+                                                          result):
+        cache = ResultCache(tmp_path)
+        cache.store(TINY, "sar", "history", True, result)
+        orphan = self.orphan(tmp_path)
+        assert cache.clear() == 1  # the entry, not the orphan
+        assert not orphan.exists()
+        assert cache.stats.orphans_swept == 1
+
+    def test_sweep_leaves_real_entries_alone(self, tmp_path, result):
+        cache = ResultCache(tmp_path)
+        cache.store(TINY, "sar", "history", True, result)
+        self.orphan(tmp_path)
+        assert cache.sweep_orphans() == 1
+        assert cache.lookup(TINY, "sar", "history", True) == result
+
+    def test_store_survives_concurrent_sweep_race(self, tmp_path, result,
+                                                  monkeypatch):
+        """A racing sweep may unlink our live tempfile between mkstemp
+        and os.replace; store must retry with a fresh tempfile."""
+        import os as _os
+
+        cache = ResultCache(tmp_path)
+        real_replace = _os.replace
+        raced = {"done": False}
+
+        def racing_replace(src, dst):
+            if not raced["done"]:
+                raced["done"] = True
+                _os.unlink(src)  # the concurrent sweeper wins the race
+                raise FileNotFoundError(src)
+            return real_replace(src, dst)
+
+        monkeypatch.setattr("repro.exec.cache.os.replace", racing_replace)
+        cache.store(TINY, "sar", "history", True, result)
+        assert cache.lookup(TINY, "sar", "history", True) == result
+        assert list(tmp_path.glob("*/.tmp-*")) == []

@@ -179,3 +179,56 @@ class TestRunnerKeying:
         # grid covers the paper's six applications
         apps = {p.workload for p in figure_points("table3", TINY)}
         assert apps == set(APPS)
+
+
+# ----------------------------------------------------------------------
+# Partial-failure behaviour of the one-shot parallel pass
+# ----------------------------------------------------------------------
+def _stub_partial_worker(point, verify, metrics_dir=None):
+    """Module-level stub (forked pools pickle workers by qualname):
+    ``boom`` fails after its siblings have had time to finish."""
+    import time
+
+    from repro.metrics.idle import idle_cdf
+    from repro.experiments.runner import RunResult
+
+    if point.workload == "boom":
+        time.sleep(0.5)
+        raise RuntimeError("worker exploded")
+    return RunResult(
+        workload=point.workload,
+        policy=point.policy,
+        scheme=point.scheme,
+        execution_time=1.0,
+        energy_joules=10.0,
+        idle_cdf=idle_cdf([]),
+        idle_periods=[],
+        energy_breakdown={},
+        buffer_hits=0,
+        prefetches=0,
+        accesses=0,
+    )
+
+
+class TestPartialFailure:
+    def test_failed_pool_run_preserves_completed_siblings(
+        self, tmp_path, monkeypatch
+    ):
+        """One worker failing must not discard the results its siblings
+        already produced: they are stored to the cache before the error
+        propagates, so a rerun only repeats the failed point."""
+        monkeypatch.setattr(
+            "repro.exec.executor._worker_run", _stub_partial_worker
+        )
+        cache = ResultCache(tmp_path)
+        executor = ExperimentExecutor(jobs=2, cache=cache, verify=False)
+        points = [
+            RunPoint("okA", "simple", False, TINY),
+            RunPoint("okB", "simple", False, TINY),
+            RunPoint("boom", "simple", False, TINY),
+        ]
+        with pytest.raises(RuntimeError, match="worker exploded"):
+            executor.run_points(points)
+        assert cache.lookup(TINY, "okA", "simple", False) is not None
+        assert cache.lookup(TINY, "okB", "simple", False) is not None
+        assert cache.lookup(TINY, "boom", "simple", False) is None
