@@ -21,10 +21,17 @@ Layout:
 * :mod:`~repro.analysis.capacity` — planned buffer occupancy (``CAP*``)
   and IR lint (``LINT*``);
 * :mod:`~repro.analysis.verify` — the orchestrating entry points and the
-  :class:`RuntimeModel` the checks are evaluated against.
+  :class:`RuntimeModel` the checks are evaluated against;
+* :mod:`~repro.analysis.energy` — abstract-interpretation energy bounds:
+  certified [lower, upper] envelopes per configuration, power-state
+  residency intervals, DES cross-validation (``ENERGY*``/``OCC*``/
+  ``PHASE*``);
+* :mod:`~repro.analysis.determinism` — AST lint for wall-clock reads,
+  unseeded randomness, and unsorted directory listings (``LINT1xx``).
 """
 
 from .capacity import CapacityProfile, analyze_capacity, lint_trace
+from .determinism import lint_determinism, lint_source
 from .diagnostics import CODES, Diagnostic, Report, Severity, SourceAnchor
 from .races import WaitEdge, build_wait_graph, detect_races
 from .schedule_check import check_book, oracle_writer_table
@@ -34,6 +41,20 @@ from .verify import (
     capacity_profile,
     lint_program,
     verify_schedule,
+)
+
+# Imported last: energy reaches into core/ir/storage layers that
+# themselves import repro.analysis.diagnostics at module load.
+from .energy import (  # noqa: E402
+    CORPUS_POLICIES,
+    POLICY_CLASSES,
+    DiskResidency,
+    EnergyAnalysis,
+    EnergyEnvelope,
+    Interval,
+    analyze_energy,
+    check_envelope,
+    widen_envelope,
 )
 
 __all__ = [
@@ -55,4 +76,15 @@ __all__ = [
     "ScheduleVerificationError",
     "verify_schedule",
     "lint_program",
+    "lint_determinism",
+    "lint_source",
+    "Interval",
+    "EnergyEnvelope",
+    "DiskResidency",
+    "EnergyAnalysis",
+    "analyze_energy",
+    "check_envelope",
+    "widen_envelope",
+    "POLICY_CLASSES",
+    "CORPUS_POLICIES",
 ]

@@ -1,0 +1,242 @@
+"""AST determinism lint (``repro lint --determinism``).
+
+Every result in this repository is contractually reproducible: same
+inputs → bit-identical outputs, serial or parallel.  The three classic
+ways Python code breaks that contract are wall-clock reads, unseeded
+global randomness, and filesystem enumeration order.  This pass walks
+the package's own sources with :mod:`ast` and flags:
+
+* ``LINT101`` — wall-clock reads (``time.time``/``monotonic``/
+  ``perf_counter``/``strftime``/…, ``datetime.now``/``today``): values
+  that differ run to run and must never feed simulated state;
+* ``LINT102`` — unseeded randomness: module-level ``random.*`` calls
+  (shared global state), ``random.Random()`` or numpy
+  ``default_rng()`` constructed without a seed;
+* ``LINT103`` — ``os.listdir``/``os.scandir``/``glob``/``iglob``/
+  ``Path.glob``/``rglob``/``iterdir`` consumed without a wrapping
+  ``sorted(...)``: directory order is filesystem-dependent.
+
+Findings are *errors* — CI gates on them — but a site that is
+legitimately non-deterministic (e.g. a benchmark measuring wall time)
+can carry a ``# det: <reason>`` comment on the offending line to waive
+it; the reason is mandatory, so every waiver is an audited decision.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Iterable, Optional
+
+from .diagnostics import (
+    Diagnostic,
+    Report,
+    Severity,
+    SourceAnchor,
+    register_codes,
+)
+
+__all__ = ["lint_determinism", "lint_source", "WAIVER_MARK"]
+
+register_codes(
+    "repro.analysis.determinism",
+    {
+        "LINT101": "wall-clock read in reproducible code",
+        "LINT102": "unseeded random source in reproducible code",
+        "LINT103": "directory listing consumed without sorting",
+    },
+)
+
+WAIVER_MARK = "# det:"
+
+#: Canonical dotted names that read the wall clock.
+_WALL_CLOCK = frozenset({
+    "time.time",
+    "time.time_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "time.process_time",
+    "time.strftime",
+    "time.localtime",
+    "time.gmtime",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+    "datetime.date.today",
+})
+
+#: ``random`` module members that are fine to call (explicitly seeded
+#: constructions and state plumbing).
+_RANDOM_OK = frozenset({
+    "random.seed",
+    "random.getstate",
+    "random.setstate",
+    "random.SystemRandom",
+})
+
+#: Module-level listing functions whose order is filesystem-dependent.
+_LISTING_FUNCS = frozenset({
+    "os.listdir",
+    "os.scandir",
+    "glob.glob",
+    "glob.iglob",
+})
+
+#: Method names with filesystem-dependent iteration order (pathlib).
+_LISTING_METHODS = frozenset({"glob", "rglob", "iterdir"})
+
+
+def _dotted_name(node: ast.expr) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, else None."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+class _Visitor(ast.NodeVisitor):
+    """One file's walk: resolves import aliases, collects findings."""
+
+    def __init__(self, rel_path: str, source_lines: list[str]):
+        self.rel_path = rel_path
+        self.lines = source_lines
+        self.aliases: dict[str, str] = {}
+        self.findings: list[Diagnostic] = []
+        self.sorted_args: set[int] = set()
+
+    # -- imports -------------------------------------------------------
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            self.aliases[alias.asname or alias.name.split(".")[0]] = (
+                alias.name
+            )
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module and node.level == 0:
+            for alias in node.names:
+                self.aliases[alias.asname or alias.name] = (
+                    f"{node.module}.{alias.name}"
+                )
+        self.generic_visit(node)
+
+    # -- helpers -------------------------------------------------------
+    def _canonical(self, node: ast.expr) -> Optional[str]:
+        dotted = _dotted_name(node)
+        if dotted is None:
+            return None
+        head, _, rest = dotted.partition(".")
+        head = self.aliases.get(head, head)
+        return f"{head}.{rest}" if rest else head
+
+    def _waived(self, lineno: int) -> bool:
+        if 1 <= lineno <= len(self.lines):
+            return WAIVER_MARK in self.lines[lineno - 1]
+        return False
+
+    def _flag(self, code: str, node: ast.AST, message: str) -> None:
+        lineno = getattr(node, "lineno", 0)
+        if self._waived(lineno):
+            return
+        self.findings.append(Diagnostic(
+            code, Severity.ERROR, message,
+            SourceAnchor(file=self.rel_path, block=lineno),
+        ))
+
+    # -- calls ---------------------------------------------------------
+    def visit_Call(self, node: ast.Call) -> None:
+        if isinstance(node.func, ast.Name) and node.func.id == "sorted":
+            for arg in node.args:
+                self.sorted_args.add(id(arg))
+        name = self._canonical(node.func)
+
+        if name in _WALL_CLOCK:
+            self._flag(
+                "LINT101", node,
+                f"{name}() reads the wall clock; derive times from the "
+                f"simulated clock or pass them in",
+            )
+        elif name is not None and name.startswith("random."):
+            if name == "random.Random":
+                if not node.args and not node.keywords:
+                    self._flag(
+                        "LINT102", node,
+                        "random.Random() without a seed; pass an explicit "
+                        "seed (named stream)",
+                    )
+            elif name not in _RANDOM_OK:
+                self._flag(
+                    "LINT102", node,
+                    f"{name}() uses the shared global random state; use a "
+                    f"seeded random.Random instance",
+                )
+        elif name is not None and name.endswith("random.default_rng"):
+            if not node.args and not node.keywords:
+                self._flag(
+                    "LINT102", node,
+                    "default_rng() without a seed; pass an explicit seed",
+                )
+
+        if name in _LISTING_FUNCS or (
+            name is None
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in _LISTING_METHODS
+        ) or (
+            name is not None
+            and name not in _LISTING_FUNCS
+            and name.rsplit(".", 1)[-1] in _LISTING_METHODS
+        ):
+            if id(node) not in self.sorted_args:
+                shown = name or node.func.attr  # type: ignore[union-attr]
+                self._flag(
+                    "LINT103", node,
+                    f"{shown}(...) yields filesystem-dependent order; wrap "
+                    f"the call in sorted(...)",
+                )
+        self.generic_visit(node)
+
+
+def lint_source(source: str, rel_path: str) -> list[Diagnostic]:
+    """Lint one file's source text; returns its findings."""
+    tree = ast.parse(source, filename=rel_path)
+    # Mark direct arguments of sorted(...) calls before the main walk so
+    # `sorted(os.listdir(p))` is recognized regardless of visit order.
+    marker = _Visitor(rel_path, source.splitlines())
+    for node in ast.walk(tree):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "sorted"
+        ):
+            for arg in node.args:
+                marker.sorted_args.add(id(arg))
+    marker.visit(tree)
+    return marker.findings
+
+
+def lint_determinism(
+    root: Optional[Path] = None,
+    files: Optional[Iterable[Path]] = None,
+) -> Report:
+    """Lint the package sources (or an explicit file list) and report.
+
+    ``root`` defaults to the installed ``repro`` package directory, so
+    ``repro lint --determinism`` always checks the code that is actually
+    running.
+    """
+    if root is None:
+        root = Path(__file__).resolve().parents[1]
+    if files is None:
+        files = sorted(root.rglob("*.py"))
+    report = Report()
+    for path in files:
+        rel = str(path.relative_to(root)) if path.is_absolute() else str(path)
+        source = path.read_text(encoding="utf-8")
+        report.extend(lint_source(source, rel))
+    return report

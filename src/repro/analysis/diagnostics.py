@@ -2,23 +2,42 @@
 
 Every checker in :mod:`repro.analysis` reports through this module: a
 :class:`Diagnostic` carries a *stable code* (``SCHED001``, ``RACE001``,
-``CAP001``, ``LINT001``, …), a :class:`Severity`, a human message and a
-:class:`SourceAnchor` tying the finding back to the schedule artifact
-(process, slot, access id, file/block).  A :class:`Report` aggregates
-diagnostics and renders them as text (CLI) or JSON (tooling).
+``CAP001``, ``LINT001``, ``ENERGY001``, …), a :class:`Severity`, a human
+message and a :class:`SourceAnchor` tying the finding back to the schedule
+artifact (process, slot, access id, file/block).  A :class:`Report`
+aggregates diagnostics and renders them as text (CLI) or JSON (tooling).
 
 Codes are append-only: once published a code keeps its meaning forever,
 so tests and downstream tooling may match on them exactly.
+
+The *code registry* is the single source of truth for every published
+code.  Checkers declare their codes next to their implementation via
+:func:`register_codes`, which enforces the format (``FAMILY`` + three
+digits), rejects collisions (a code can never be registered twice — the
+new ``ENERGY``/``OCC``/``PHASE`` families cannot reuse or shadow
+``SCHED``/``RACE``/``CAP``/``LINT`` codes) and records which module owns
+each code.  ``CODES`` remains the public read view; importing
+:mod:`repro.analysis` populates it fully.
 """
 
 from __future__ import annotations
 
 import enum
 import json
+import re
 from dataclasses import dataclass, field
-from typing import Iterator, Optional
+from typing import Iterator, Mapping, Optional
 
-__all__ = ["Severity", "SourceAnchor", "Diagnostic", "Report", "CODES"]
+__all__ = [
+    "Severity",
+    "SourceAnchor",
+    "Diagnostic",
+    "Report",
+    "CODES",
+    "register_codes",
+    "code_families",
+    "code_owner",
+]
 
 
 class Severity(enum.IntEnum):
@@ -33,29 +52,67 @@ class Severity(enum.IntEnum):
         return self.name.lower()
 
 
+# ----------------------------------------------------------------------
+# Code registry (single source of truth)
+# ----------------------------------------------------------------------
+
 #: Registry of every stable diagnostic code with its one-line summary.
-#: Append-only — codes never change meaning or get reused.
-CODES: dict[str, str] = {
-    # Schedule verifier (schedule_check.py)
-    "SCHED001": "scheduled slot lies outside the access's slack window",
-    "SCHED002": "scheduled slot overruns the slot horizon",
-    "SCHED003": "access appears more than once in the schedule book",
-    "SCHED004": "traced read has no scheduled access (unscheduled)",
-    "SCHED005": "access filed under the wrong process table",
-    "SCHED006": "recorded producer disagrees with the dependence oracle",
-    "SCHED007": "prefetch ordered at/before its producing write (hazard)",
-    "SCHED008": "scheduled access matches no traced read (phantom)",
-    # Prefetch race / deadlock detector (races.py)
-    "RACE001": "producer-wait cycle: guaranteed cross-process deadlock",
-    "RACE002": "unbounded wait: producer never reaches the awaited slot",
-    "RACE003": "batching stalls the issue window on a producer-wait",
-    # Buffer capacity analyzer (capacity.py)
-    "CAP001": "single access larger than the whole prefetch buffer",
-    "CAP002": "peak live prefetched blocks exceed buffer capacity",
-    # IR lint (capacity.py)
-    "LINT001": "dead write: block is never read after being written",
-    "LINT002": "declared file is never accessed by the program",
-}
+#: Append-only — codes never change meaning or get reused.  Populated by
+#: :func:`register_codes` calls next to each checker; do not write to it
+#: directly.
+CODES: dict[str, str] = {}
+
+#: code → owning module (for collision error messages and audits).
+_OWNERS: dict[str, str] = {}
+
+_CODE_RE = re.compile(r"^([A-Z]+)(\d{3})$")
+
+
+def register_codes(owner: str, codes: Mapping[str, str]) -> None:
+    """Publish diagnostic codes into the shared registry.
+
+    ``owner`` names the registering module (``repro.analysis.energy``);
+    every code must match ``FAMILY`` + three digits, carry a non-empty
+    summary, and be globally fresh — re-registering an existing code is a
+    collision and raises, even from the code's own family.  Calling twice
+    with the *identical* (owner, code, summary) triple is idempotent so
+    module reloads stay harmless.
+    """
+    for code, summary in codes.items():
+        match = _CODE_RE.match(code)
+        if not match:
+            raise ValueError(
+                f"{owner}: malformed diagnostic code {code!r} "
+                "(expected FAMILY + 3 digits, e.g. ENERGY001)"
+            )
+        if not summary or not summary.strip():
+            raise ValueError(f"{owner}: code {code} has an empty summary")
+        if code in CODES:
+            if _OWNERS[code] == owner and CODES[code] == summary:
+                continue  # idempotent re-import
+            raise ValueError(
+                f"{owner}: diagnostic code {code} collides with the one "
+                f"registered by {_OWNERS[code]} ({CODES[code]!r})"
+            )
+        CODES[code] = summary
+        _OWNERS[code] = owner
+
+
+def code_families() -> dict[str, list[str]]:
+    """family → sorted list of its registered codes."""
+    out: dict[str, list[str]] = {}
+    for code in sorted(CODES):
+        match = _CODE_RE.match(code)
+        assert match is not None  # enforced at registration
+        out.setdefault(match.group(1), []).append(code)
+    return out
+
+
+def code_owner(code: str) -> str:
+    """The module that registered ``code``."""
+    if code not in _OWNERS:
+        raise ValueError(f"unknown diagnostic code {code!r}")
+    return _OWNERS[code]
 
 
 @dataclass(frozen=True)
@@ -64,7 +121,8 @@ class SourceAnchor:
 
     All fields are optional; checkers fill in whatever identifies the
     finding most precisely (an access id for schedule violations, a
-    process pair for races, a file for IR lint).
+    process pair for races, a file for IR lint, a source path plus line
+    number — carried in ``block`` — for the determinism lint).
     """
 
     process: Optional[int] = None
@@ -163,6 +221,10 @@ class Report:
     def has_errors(self) -> bool:
         return any(d.severity is Severity.ERROR for d in self.diagnostics)
 
+    @property
+    def has_warnings(self) -> bool:
+        return any(d.severity is Severity.WARNING for d in self.diagnostics)
+
     def by_code(self, code: str) -> list[Diagnostic]:
         if code not in CODES:
             raise ValueError(f"unknown diagnostic code {code!r}")
@@ -213,3 +275,41 @@ class Report:
             f"Report({len(self.diagnostics)} diagnostics, "
             f"{len(self.errors)} errors)"
         )
+
+
+# ----------------------------------------------------------------------
+# Core verifier code families.  SCHED/RACE/CAP/LINT predate the registry
+# mechanism and their checkers share this module's import cycle, so their
+# declarations stay here; new families register next to their checkers
+# (see repro.analysis.energy and repro.analysis.determinism).
+# ----------------------------------------------------------------------
+register_codes(
+    "repro.analysis.schedule_check",
+    {
+        "SCHED001": "scheduled slot lies outside the access's slack window",
+        "SCHED002": "scheduled slot overruns the slot horizon",
+        "SCHED003": "access appears more than once in the schedule book",
+        "SCHED004": "traced read has no scheduled access (unscheduled)",
+        "SCHED005": "access filed under the wrong process table",
+        "SCHED006": "recorded producer disagrees with the dependence oracle",
+        "SCHED007": "prefetch ordered at/before its producing write (hazard)",
+        "SCHED008": "scheduled access matches no traced read (phantom)",
+    },
+)
+register_codes(
+    "repro.analysis.races",
+    {
+        "RACE001": "producer-wait cycle: guaranteed cross-process deadlock",
+        "RACE002": "unbounded wait: producer never reaches the awaited slot",
+        "RACE003": "batching stalls the issue window on a producer-wait",
+    },
+)
+register_codes(
+    "repro.analysis.capacity",
+    {
+        "CAP001": "single access larger than the whole prefetch buffer",
+        "CAP002": "peak live prefetched blocks exceed buffer capacity",
+        "LINT001": "dead write: block is never read after being written",
+        "LINT002": "declared file is never accessed by the program",
+    },
+)

@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Nine subcommands:
+Ten subcommands:
 
 * ``list`` — the registered workloads and policies;
 * ``run`` — simulate one (workload, policy, scheme) combination and print
@@ -21,7 +21,21 @@ Nine subcommands:
   (slack windows, producer ordering, deadlocks, buffer capacity) without
   running the simulator; exits non-zero on error diagnostics;
 * ``lint`` — static IR lint of a workload's trace (dead writes,
-  never-accessed files), no schedule needed.
+  never-accessed files), no schedule needed; ``--determinism`` adds the
+  AST determinism pass over the package's own sources (wall-clock reads,
+  unseeded randomness, unsorted directory listings);
+* ``analyze`` — abstract-interpretation energy bounds: certified
+  [lower, upper] energy envelopes, per-node residency intervals and
+  occupancy/idle-gap diagnostics per configuration, all without
+  simulating; ``--check`` additionally runs the DES and fails if any
+  measured energy escapes its envelope (the CI soundness gate).
+
+``verify``, ``lint`` and ``analyze`` share one reporting contract so CI
+gates consume them uniformly: ``--format {text,json}`` (``--json`` is an
+alias), a *single* JSON document even when several workloads are
+covered, ``--strict`` promotes warnings to failures, and exit codes mean
+0 = clean, 1 = findings (errors, or warnings under ``--strict``),
+2 = usage/environment error.
 
 ``run`` and ``figure`` go through the parallel executor: ``--jobs N``
 fans simulations out over N worker processes, and every finished point is
@@ -57,6 +71,9 @@ Examples::
     python -m repro verify --scale 0.1           # all six workloads
     python -m repro verify --app madbench2 --json
     python -m repro lint --app astro
+    python -m repro lint --determinism --strict
+    python -m repro analyze --app hf --scale 0.1
+    python -m repro analyze --check --scale 0.05 --format json
 """
 
 from __future__ import annotations
@@ -155,6 +172,31 @@ def _add_obs_flags(sub_parser: argparse.ArgumentParser) -> None:
         "--metrics", default=None, metavar="PATH",
         help="write a merged metrics snapshot (JSON) of every simulated "
         "point; inspect with 'repro report'")
+
+
+def _add_report_flags(sub_parser: argparse.ArgumentParser) -> None:
+    """The uniform reporting contract of verify/lint/analyze."""
+    group = sub_parser.add_mutually_exclusive_group()
+    group.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="output format (default: text); JSON is always one document")
+    group.add_argument(
+        "--json", action="store_true",
+        help="shorthand for --format json")
+    sub_parser.add_argument(
+        "--strict", action="store_true",
+        help="treat warning diagnostics as failures (exit 1)")
+
+
+def _resolved_format(args) -> str:
+    return "json" if getattr(args, "json", False) else args.format
+
+
+def _reports_exit(reports, strict: bool) -> int:
+    """0 = clean, 1 = errors (or warnings under --strict)."""
+    return 1 if any(
+        r.has_errors or (strict and r.has_warnings) for r in reports
+    ) else 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -260,17 +302,50 @@ def build_parser() -> argparse.ArgumentParser:
     verify_p.add_argument("--ionodes", type=int, default=None)
     verify_p.add_argument("--delta", type=int, default=None)
     verify_p.add_argument("--theta", type=int, default=None)
-    verify_p.add_argument("--json", action="store_true",
-                          help="emit the report as JSON")
     verify_p.add_argument("--no-lint", action="store_true",
                           help="skip the IR lint pass")
+    _add_report_flags(verify_p)
 
     lint_p = sub.add_parser("lint", help="lint a workload's IR trace")
     lint_p.add_argument("--app", default=None, choices=APPS,
                         help="workload to lint (default: all)")
     lint_p.add_argument("--scale", type=float, default=None)
-    lint_p.add_argument("--json", action="store_true",
-                        help="emit the report as JSON")
+    lint_p.add_argument("--determinism", action="store_true",
+                        help="also AST-lint the repro package sources for "
+                        "wall-clock reads, unseeded randomness and "
+                        "unsorted directory listings (LINT1xx)")
+    _add_report_flags(lint_p)
+
+    analyze_p = sub.add_parser(
+        "analyze",
+        help="certify static energy bounds without simulating",
+    )
+    analyze_p.add_argument("--app", default=None, choices=APPS,
+                           help="workload to analyze (default: all)")
+    analyze_p.add_argument(
+        "--policy", default=None, choices=("default",) + POLICIES,
+        help="power policy to analyze (default: the soundness-corpus "
+        "sweep default/simple/history)")
+    analyze_p.add_argument(
+        "--scheme", choices=("both", "on", "off"), default="both",
+        help="analyze with the scheduling scheme on, off or both "
+        "(default: both)")
+    analyze_p.add_argument("--scale", type=float, default=None)
+    analyze_p.add_argument("--clients", type=int, default=None)
+    analyze_p.add_argument("--ionodes", type=int, default=None)
+    analyze_p.add_argument(
+        "--faults", default=None, metavar="PLAN.json",
+        help="analyze under this fault plan (the envelope widens "
+        "conservatively, PHASE002)")
+    analyze_p.add_argument(
+        "--check", action="store_true",
+        help="also run the DES for every configuration and fail "
+        "(ENERGY001) if a measured energy escapes its envelope")
+    analyze_p.add_argument(
+        "--metrics", default=None, metavar="PATH",
+        help="write envelope-width gauges as a metrics snapshot "
+        "('repro report' merges it with simulation snapshots)")
+    _add_report_flags(analyze_p)
     return parser
 
 
@@ -670,6 +745,30 @@ def cmd_schedule(args, out) -> int:
     return 0
 
 
+def _emit_reports(command, sections, args, out) -> int:
+    """Render named reports per the uniform contract and return the exit
+    code.  ``sections`` is ``[(name, Report)]``; JSON output is always a
+    single document keyed by section name."""
+    import json as json_mod
+
+    fmt = _resolved_format(args)
+    reports = [report for _, report in sections]
+    rc = _reports_exit(reports, args.strict)
+    if fmt == "json":
+        doc = {
+            "command": command,
+            "strict": args.strict,
+            "sections": {name: report.as_dict()
+                         for name, report in sections},
+            "clean": rc == 0,
+        }
+        print(json_mod.dumps(doc, indent=2), file=out)
+    else:
+        for name, report in sections:
+            print(report.render_text(title=f"{command} {name}"), file=out)
+    return rc
+
+
 def cmd_verify(args, out) -> int:
     from .analysis import RuntimeModel, verify_schedule
 
@@ -677,7 +776,7 @@ def cmd_verify(args, out) -> int:
     runner = Runner(cfg)
     runtime = RuntimeModel.from_session_config(cfg.session_config())
     apps = [args.app] if args.app else list(APPS)
-    failed = 0
+    sections = []
     for app in apps:
         compiled = runner.compilation(app)
         report = verify_schedule(
@@ -687,13 +786,8 @@ def cmd_verify(args, out) -> int:
             granularity=cfg.granularity,
             include_lint=not args.no_lint,
         )
-        if args.json:
-            print(report.render_json(), file=out)
-        else:
-            print(report.render_text(title=f"verify {app}"), file=out)
-        if report.has_errors:
-            failed += 1
-    return 1 if failed else 0
+        sections.append((app, report))
+    return _emit_reports("verify", sections, args, out)
 
 
 def cmd_lint(args, out) -> int:
@@ -702,16 +796,110 @@ def cmd_lint(args, out) -> int:
     cfg = _config(args)
     runner = Runner(cfg)
     apps = [args.app] if args.app else list(APPS)
-    failed = 0
+    sections = []
     for app in apps:
-        report = lint_program(runner.trace(app))
-        if args.json:
-            print(report.render_json(), file=out)
-        else:
-            print(report.render_text(title=f"lint {app}"), file=out)
-        if report.has_errors:
-            failed += 1
-    return 1 if failed else 0
+        sections.append((app, lint_program(runner.trace(app))))
+    if args.determinism:
+        from .analysis import lint_determinism
+
+        sections.append(("determinism", lint_determinism()))
+    return _emit_reports("lint", sections, args, out)
+
+
+def cmd_analyze(args, out) -> int:
+    import json as json_mod
+
+    from .analysis import CORPUS_POLICIES, analyze_energy, check_envelope
+
+    cfg = _config(args)
+    runner = Runner(cfg)
+    apps = [args.app] if args.app else list(APPS)
+    policies = [args.policy] if args.policy else list(CORPUS_POLICIES)
+    schemes = {"both": (False, True), "on": (True,), "off": (False,)}
+    configs = []
+    registry = None
+    if args.metrics:
+        from .obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+    for app in apps:
+        trace = runner.trace(app)
+        compiled = None
+        for policy in policies:
+            for scheme in schemes[args.scheme]:
+                if scheme and compiled is None:
+                    compiled = runner.compilation(app)
+                analysis = analyze_energy(
+                    trace, cfg, policy, scheme,
+                    book=compiled.book if scheme else None,
+                )
+                measured = None
+                if args.check:
+                    measured = runner.run(
+                        app, policy, scheme
+                    ).energy_joules
+                    analysis.report.extend(
+                        check_envelope(analysis.envelope, measured)
+                    )
+                if registry is not None:
+                    from .obs.collect import collect_envelope_metrics
+
+                    collect_envelope_metrics(registry, analysis, measured)
+                configs.append((app, policy, scheme, analysis, measured))
+    if registry is not None:
+        from .obs.metrics import write_snapshot
+
+        write_snapshot(registry.snapshot(), args.metrics)
+        print(f"[obs] metrics written to {args.metrics}", file=sys.stderr)
+
+    reports = [analysis.report for _, _, _, analysis, _ in configs]
+    rc = _reports_exit(reports, args.strict)
+    if _resolved_format(args) == "json":
+        doc = {
+            "command": "analyze",
+            "scale": cfg.workload_scale,
+            "checked": bool(args.check),
+            "strict": args.strict,
+            "configs": [
+                {
+                    "app": app,
+                    "policy": policy,
+                    "scheme": scheme,
+                    **analysis.as_dict(),
+                    **({"measured_j": measured,
+                        "contained": analysis.envelope.contains(measured)}
+                       if measured is not None else {}),
+                }
+                for app, policy, scheme, analysis, measured in configs
+            ],
+            "clean": rc == 0,
+        }
+        print(json_mod.dumps(doc, indent=2), file=out)
+        return rc
+
+    headers = ["workload", "policy", "scheme", "E_lo (J)", "E_hi (J)",
+               "rel width", "findings"]
+    if args.check:
+        headers[6:6] = ["measured (J)", "inside"]
+    rows = []
+    for app, policy, scheme, analysis, measured in configs:
+        env = analysis.envelope
+        row = [app, policy, "on" if scheme else "off",
+               f"{env.energy_j.lo:,.1f}", f"{env.energy_j.hi:,.1f}",
+               f"{env.relative_width:.3f}", str(len(analysis.report))]
+        if args.check:
+            row[6:6] = [f"{measured:,.1f}",
+                        "yes" if env.contains(measured) else "NO"]
+        rows.append(tuple(row))
+    title = f"energy envelopes (scale {cfg.workload_scale})"
+    print(format_table(tuple(headers), rows, title=title), file=out)
+    for app, policy, scheme, analysis, _ in configs:
+        if len(analysis.report):
+            print(file=out)
+            label = f"{app}/{policy}/scheme={'on' if scheme else 'off'}"
+            print(analysis.report.render_text(title=f"analyze {label}"),
+                  file=out)
+    return rc
 
 
 _HANDLERS = {
@@ -724,6 +912,7 @@ _HANDLERS = {
     "schedule": cmd_schedule,
     "verify": cmd_verify,
     "lint": cmd_lint,
+    "analyze": cmd_analyze,
 }
 
 

@@ -16,7 +16,15 @@ from ..sim.trace import StateTimeline
 from . import states as st
 from .specs import DiskSpec
 
-__all__ = ["DiskPowerModel", "EnergyBreakdown"]
+__all__ = [
+    "DiskPowerModel",
+    "EnergyBreakdown",
+    "reachable_power_states",
+    "power_bounds",
+    "rest_power_ceiling",
+    "serve_power_bounds",
+    "burst_power_ceiling",
+]
 
 RPM_UP = "rpm_up"
 RPM_DOWN = "rpm_down"
@@ -77,6 +85,96 @@ class EnergyBreakdown:
             "rpm_change": self.rpm_change,
             "total": self.total,
         }
+
+
+# ----------------------------------------------------------------------
+# Reachable-state power bounds (shared with the static analyzer)
+# ----------------------------------------------------------------------
+# The static energy analyzer (repro.analysis.energy) needs certified
+# per-policy power floors and ceilings.  Rather than re-deriving watts
+# from the spec — which would duplicate the physics and drift — the
+# bounds below enumerate the exact state labels a Drive can enter under a
+# policy's declared capabilities (PowerPolicy.can_spin_down / can_ramp)
+# and take min/max of DiskPowerModel.power_of over them.  One definition
+# of the physics, two consumers.
+
+
+def reachable_power_states(
+    spec: DiskSpec, can_spin_down: bool, can_ramp: bool
+) -> dict[str, list[str]]:
+    """State labels a drive can occupy, grouped by role.
+
+    ``rest``  — not serving, drawing at most idle-class power
+    (idle at any reachable RPM, standby, spin-down, down-ramps);
+    ``serve`` — seeking or transferring at any reachable RPM;
+    ``burst`` — transients that can exceed idle power (spin-up,
+    up-ramps).  A policy without the matching capability contributes no
+    standby/spin/ramp states, which is what makes the bounds per-policy.
+    """
+    rpms = list(spec.rpm_levels) if can_ramp else [spec.max_rpm]
+    rest = [st.idle_at(rpm) for rpm in rpms]
+    serve = [
+        label
+        for rpm in rpms
+        for label in (
+            st.active_at(rpm),
+            st.active_at(rpm, write=True),
+            st.seek_at(rpm),
+        )
+    ]
+    burst: list[str] = []
+    if can_spin_down:
+        rest += [st.STANDBY, st.SPIN_DOWN]
+        burst.append(st.SPIN_UP)
+    if can_ramp:
+        # A ramp passes through every intermediate level; rpm_down coasts
+        # (idle-class), rpm_up needs torque above idle (burst-class).
+        rest += [f"{RPM_DOWN}@{rpm}" for rpm in rpms]
+        burst += [f"{RPM_UP}@{rpm}" for rpm in rpms]
+    return {"rest": rest, "serve": serve, "burst": burst}
+
+
+def power_bounds(
+    spec: DiskSpec, can_spin_down: bool, can_ramp: bool
+) -> tuple[float, float]:
+    """(floor, ceiling) watts over *every* reachable state."""
+    model = DiskPowerModel(spec)
+    groups = reachable_power_states(spec, can_spin_down, can_ramp)
+    watts = [
+        model.power_of(label) for labels in groups.values() for label in labels
+    ]
+    return min(watts), max(watts)
+
+
+def rest_power_ceiling(
+    spec: DiskSpec, can_spin_down: bool, can_ramp: bool
+) -> float:
+    """Max watts over the non-serving, non-burst states."""
+    model = DiskPowerModel(spec)
+    groups = reachable_power_states(spec, can_spin_down, can_ramp)
+    return max(model.power_of(label) for label in groups["rest"])
+
+
+def serve_power_bounds(
+    spec: DiskSpec, can_spin_down: bool, can_ramp: bool
+) -> tuple[float, float]:
+    """(floor, ceiling) watts over the serving (seek/transfer) states."""
+    model = DiskPowerModel(spec)
+    groups = reachable_power_states(spec, can_spin_down, can_ramp)
+    watts = [model.power_of(label) for label in groups["serve"]]
+    return min(watts), max(watts)
+
+
+def burst_power_ceiling(
+    spec: DiskSpec, can_spin_down: bool, can_ramp: bool
+) -> float:
+    """Max watts over the burst transients (spin-up, up-ramps); falls back
+    to the rest ceiling when the policy has no burst states."""
+    model = DiskPowerModel(spec)
+    groups = reachable_power_states(spec, can_spin_down, can_ramp)
+    if not groups["burst"]:
+        return rest_power_ceiling(spec, can_spin_down, can_ramp)
+    return max(model.power_of(label) for label in groups["burst"])
 
 
 class DiskPowerModel:

@@ -42,10 +42,10 @@ QUICK_FIGURES = ("table3", "fig12a", "fig12b", "fig12c")
 def _time_serial(points: Sequence[RunPoint], verify: bool) -> float:
     """One cold serial pass through the grid."""
     runner = Runner(points[0].config)
-    start = time.perf_counter()
+    start = time.perf_counter()  # det: wall-clock duration is the benchmark's measurement
     for point in points:
         execute_point(runner, point, verify=verify)
-    return time.perf_counter() - start
+    return time.perf_counter() - start  # det: wall-clock duration is the benchmark's measurement
 
 
 def _measure_trace_overhead(
@@ -88,12 +88,12 @@ def _measure_trace_overhead(
                 if index % 2:
                     order = order[::-1]
                 for obs, is_traced in order:
-                    start = time.perf_counter()
+                    start = time.perf_counter()  # det: wall-clock duration is the benchmark's measurement
                     runner.run_instrumented(
                         point.workload, point.policy, point.scheme, obs,
                         config=point.config,
                     )
-                    elapsed = time.perf_counter() - start
+                    elapsed = time.perf_counter() - start  # det: wall-clock duration is the benchmark's measurement
                     if is_traced:
                         traced += elapsed
                     else:
@@ -111,6 +111,36 @@ def _measure_trace_overhead(
         else (ratios[mid - 1] + ratios[mid]) / 2
     )
     return min(traced_seconds), median
+
+
+def _envelope_widths(cfg: ExperimentConfig, workloads: Sequence[str]) -> list:
+    """Static energy-envelope tightness for the benched workloads.
+
+    Pure analysis (no simulation), so it adds milliseconds to a bench
+    pass; the widths ride along in the BENCH record to give envelope
+    tightness the same PR-over-PR trajectory the wall-clock numbers have.
+    """
+    from ..analysis.energy import CORPUS_POLICIES, analyze_energy
+
+    runner = Runner(cfg)
+    rows = []
+    for app in workloads:
+        trace = runner.trace(app)
+        book = runner.compilation(app).book
+        for policy in CORPUS_POLICIES:
+            for scheme in (False, True):
+                env = analyze_energy(
+                    trace, cfg, policy, scheme,
+                    book=book if scheme else None,
+                ).envelope
+                rows.append({
+                    "workload": app,
+                    "policy": policy,
+                    "scheme": scheme,
+                    "width_j": round(env.width_j, 1),
+                    "relative_width": round(env.relative_width, 4),
+                })
+    return rows
 
 
 def run_bench(
@@ -142,7 +172,7 @@ def run_bench(
     record: dict = {
         "kind": "repro-bench",
         "schema": SCHEMA_VERSION,
-        "created": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "created": time.strftime("%Y-%m-%dT%H:%M:%S"),  # det: record timestamp, not simulated state
         "python": sys.version.split()[0],
         "platform": platform.platform(),
         "cpu_count": os.cpu_count(),
@@ -156,6 +186,15 @@ def run_bench(
     if repeats < 1:
         raise ValueError(f"repeats must be >= 1: {repeats}")
     record["repeats"] = repeats
+
+    envelopes = _envelope_widths(
+        cfg, sorted({point.workload for point in points})
+    )
+    record["envelopes"] = envelopes
+    if envelopes:
+        record["envelope_mean_relative_width"] = round(
+            sum(e["relative_width"] for e in envelopes) / len(envelopes), 4
+        )
 
     if compare_serial:
         record["serial_seconds"] = round(
@@ -181,9 +220,9 @@ def run_bench(
         supervisor = CampaignSupervisor(
             executor, SupervisorPolicy(keep_going=True)
         )
-        start = time.perf_counter()
+        start = time.perf_counter()  # det: wall-clock duration is the benchmark's measurement
         report = supervisor.run_points(points)
-        record["parallel_seconds"] = round(time.perf_counter() - start, 4)
+        record["parallel_seconds"] = round(time.perf_counter() - start, 4)  # det: wall-clock duration is the benchmark's measurement
         record["parallel"] = executor.stats.as_dict()
         # Schema-stable even on clean runs, so BENCH consumers can key on
         # it unconditionally; a partial failure shows up here instead of
@@ -193,9 +232,9 @@ def run_bench(
         warm = ExperimentExecutor(
             jobs=jobs, cache=ResultCache(Path(cache_dir)), verify=verify
         )
-        start = time.perf_counter()
+        start = time.perf_counter()  # det: wall-clock duration is the benchmark's measurement
         warm.run_points(points)
-        record["warm_seconds"] = round(time.perf_counter() - start, 4)
+        record["warm_seconds"] = round(time.perf_counter() - start, 4)  # det: wall-clock duration is the benchmark's measurement
         record["warm"] = warm.stats.as_dict()
     finally:
         if tmp is not None:

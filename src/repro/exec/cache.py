@@ -95,7 +95,7 @@ class ResultCache:
         tempfile.
         """
         removed = 0
-        for orphan in self.root.glob("*/.tmp-*"):
+        for orphan in sorted(self.root.glob("*/.tmp-*")):
             try:
                 orphan.unlink()
             except OSError:
@@ -173,7 +173,7 @@ class ResultCache:
         # ``.tmp-*.json`` writer files must be filtered out explicitly.
         return (
             p
-            for p in self.root.glob("*/*.json")
+            for p in sorted(self.root.glob("*/*.json"))
             if not p.name.startswith(".tmp-")
         )
 

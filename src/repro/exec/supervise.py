@@ -721,7 +721,7 @@ class CampaignSupervisor:
 
         try:
             while pending or inflight or waiting:
-                now = time.monotonic()
+                now = time.monotonic()  # det: real-process watchdog clock, not simulated state
                 if waiting:
                     still: list[tuple[float, _Task]] = []
                     for ready_at, task in waiting:
@@ -787,7 +787,7 @@ class CampaignSupervisor:
                         else:
                             self._handle_error(task, exc, waiting, report)
 
-                now = time.monotonic()
+                now = time.monotonic()  # det: real-process watchdog clock, not simulated state
                 if broken or getattr(pool, "_broken", False):
                     self.metrics.counter("exec.worker_deaths").inc()
                     report.worker_deaths += 1
@@ -864,7 +864,7 @@ class CampaignSupervisor:
         retryable = not isinstance(exc, VerifyFailure)
         if retryable and task.attempts < self.policy.retries:
             task.attempts += 1
-            waiting.append((time.monotonic() + self._backoff(task, report), task))
+            waiting.append((time.monotonic() + self._backoff(task, report), task))  # det: real-process watchdog clock, not simulated state
         else:
             self._fail(task, OUTCOME_FAILED, exc, report)
 

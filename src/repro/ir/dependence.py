@@ -21,7 +21,48 @@ from __future__ import annotations
 from .profiling import AccessTrace, trace_program
 from .program import Program
 
-__all__ = ["solve_affine_equal", "AffineDependenceAnalyzer"]
+__all__ = [
+    "solve_affine_equal",
+    "AffineDependenceAnalyzer",
+    "certainly_cold_blocks",
+]
+
+
+def certainly_cold_blocks(trace: AccessTrace) -> set[tuple[str, int]]:
+    """(file, block) pairs whose *first read in time* provably misses cache.
+
+    A block is certainly disk-sourced when it is read at least once and
+    every write ``w`` touching it has, in the *same process*, a read of
+    the block at strictly earlier program order (smaller ``seq``).  Then
+    whichever read happens first in any legal interleaving precedes every
+    write that could have populated the cache, so that read's data must
+    transit a disk — even when the scheduler prefetches it, the prefetch
+    itself is a disk fetch.  Cross-process writes cannot rescue the block:
+    if one could complete before every read, the earlier-read condition
+    on that writer's own process would be violated.
+
+    Slot numbers are *not* time (processes drift), so this test uses only
+    per-process program order — the one order the IR guarantees — which
+    keeps it sound for the energy lower bound (it may under-approximate
+    the cold set, never over-approximate it).
+    """
+    cold: set[tuple[str, int]] = set()
+    writers = trace.block_writers()
+    for key, readers in trace.block_readers().items():
+        first_read_seq: dict[int, int] = {}
+        for io in readers:
+            seq = first_read_seq.get(io.process)
+            if seq is None or io.seq < seq:
+                first_read_seq[io.process] = io.seq
+        ok = True
+        for w in writers.get(key, []):
+            seq = first_read_seq.get(w.process)
+            if seq is None or seq >= w.seq:
+                ok = False
+                break
+        if ok:
+            cold.add(key)
+    return cold
 
 
 def solve_affine_equal(
@@ -106,6 +147,16 @@ class AffineDependenceAnalyzer:
         return best
 
     # ------------------------------------------------------------------
+    def certainly_cold_blocks(self) -> set[tuple[str, int]]:
+        """Blocks whose first read provably misses cache (see
+        :func:`certainly_cold_blocks`), derived from the polyhedral walk.
+
+        For affine programs the symbolic walk and the profiling trace
+        coincide, so this agrees exactly with the profiling-path answer —
+        the energy analyzer uses whichever path the program admits.
+        """
+        return certainly_cold_blocks(self._ensure_trace())
+
     def writers_of_block(
         self, file: str, block: int
     ) -> list[tuple[int, int]]:

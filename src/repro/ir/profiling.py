@@ -87,6 +87,22 @@ class AccessTrace:
             entries.sort()
         return table
 
+    def block_readers(self) -> dict[tuple[str, int], list[TracedIO]]:
+        """(file, block) → every read touching that block, trace-ordered."""
+        table: dict[tuple[str, int], list[TracedIO]] = {}
+        for io in self.reads():
+            for key in io.block_keys():
+                table.setdefault(key, []).append(io)
+        return table
+
+    def block_writers(self) -> dict[tuple[str, int], list[TracedIO]]:
+        """(file, block) → every write touching that block, trace-ordered."""
+        table: dict[tuple[str, int], list[TracedIO]] = {}
+        for io in self.writes():
+            for key in io.block_keys():
+                table.setdefault(key, []).append(io)
+        return table
+
 
 def trace_program(program: Program, granularity: int = 1) -> AccessTrace:
     """Execute ``program`` symbolically for every process.

@@ -40,12 +40,14 @@ from ..metrics.idle import PAPER_BUCKETS_MS
 from .metrics import MetricsRegistry
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..analysis.energy import EnergyAnalysis
     from ..runtime.session import SessionResult
 
 __all__ = [
     "LINK_DELAY_BOUNDS_S",
     "RETRY_BOUNDS",
     "collect_session_metrics",
+    "collect_envelope_metrics",
 ]
 
 #: Bucket bounds (seconds) for per-link queue-delay histograms: 10 µs up
@@ -56,6 +58,60 @@ LINK_DELAY_BOUNDS_S = (
 
 #: Bucket bounds for the retries-per-recovered-read histogram.
 RETRY_BOUNDS = (1.0, 2.0, 3.0, 4.0, 6.0, 8.0)
+
+
+def collect_envelope_metrics(
+    registry: MetricsRegistry,
+    analysis: "EnergyAnalysis",
+    measured_joules: float | None = None,
+) -> MetricsRegistry:
+    """Distil one static energy analysis into ``registry``; returns it.
+
+    Names follow the session convention (flat, dot-separated, config id
+    embedded) so ``repro report`` merges analyzer snapshots with
+    simulation snapshots and ``--filter 'analysis.*'`` isolates them::
+
+        analysis.<app>.<policy>.<on|off>.energy.lower_j    gauge  joules
+        analysis.<app>.<policy>.<on|off>.energy.upper_j    gauge  joules
+        analysis.<app>.<policy>.<on|off>.energy.width_j    gauge  joules
+        analysis.<app>.<policy>.<on|off>.energy.relative_width  gauge
+        analysis.<app>.<policy>.<on|off>.time.{lower,upper}_s   gauge
+        analysis.<app>.<policy>.<on|off>.busy.{lower,upper}_s   gauge
+        analysis.<app>.<policy>.<on|off>.occupancy_peak_blocks  gauge
+        analysis.<app>.<policy>.<on|off>.widenings         counter
+        analysis.<app>.<policy>.<on|off>.diagnostics       counter
+        analysis.<app>.<policy>.<on|off>.measured_j        gauge (--check)
+        analysis.<app>.<policy>.<on|off>.contained         gauge 0/1
+
+    ``measured_joules`` is the DES cross-validation result when the
+    caller ran one (``repro analyze --check``); the bench grid uploads
+    ``width_j``/``relative_width`` so envelope tightness is tracked over
+    time next to the perf numbers.
+    """
+    env = analysis.envelope
+    prefix = (
+        f"analysis.{env.workload}.{env.policy}."
+        f"{'on' if env.scheme else 'off'}"
+    )
+    registry.gauge(f"{prefix}.energy.lower_j").set(env.energy_j.lo)
+    registry.gauge(f"{prefix}.energy.upper_j").set(env.energy_j.hi)
+    registry.gauge(f"{prefix}.energy.width_j").set(env.width_j)
+    registry.gauge(f"{prefix}.energy.relative_width").set(env.relative_width)
+    registry.gauge(f"{prefix}.time.lower_s").set(env.time_s.lo)
+    registry.gauge(f"{prefix}.time.upper_s").set(env.time_s.hi)
+    registry.gauge(f"{prefix}.busy.lower_s").set(env.busy_s.lo)
+    registry.gauge(f"{prefix}.busy.upper_s").set(env.busy_s.hi)
+    registry.gauge(f"{prefix}.occupancy_peak_blocks").set(
+        float(analysis.occupancy_peak_blocks)
+    )
+    registry.counter(f"{prefix}.widenings").inc(len(env.widened_by))
+    registry.counter(f"{prefix}.diagnostics").inc(len(analysis.report))
+    if measured_joules is not None:
+        registry.gauge(f"{prefix}.measured_j").set(measured_joules)
+        registry.gauge(f"{prefix}.contained").set(
+            1.0 if env.contains(measured_joules) else 0.0
+        )
+    return registry
 
 
 def collect_session_metrics(

@@ -44,6 +44,7 @@ class HistoryBasedMultiSpeed(PowerPolicy):
     """Prediction-driven single jump to the best speed (Figure 3(a))."""
 
     name = "history"
+    can_ramp = True
 
     def __init__(
         self,
@@ -182,6 +183,7 @@ class StaggeredMultiSpeed(PowerPolicy):
     """Step-down-through-speeds policy (Figure 3(b))."""
 
     name = "staggered"
+    can_ramp = True
 
     def __init__(self, step_timeout: float = 0.050):
         """``step_timeout`` is the paper's *x₁* msec dwell before dropping

@@ -23,9 +23,21 @@ __all__ = ["PowerPolicy", "NoPowerManagement"]
 
 
 class PowerPolicy:
-    """Base class: observes one drive, never acts."""
+    """Base class: observes one drive, never acts.
+
+    ``can_spin_down`` / ``can_ramp`` declare which drive controls the
+    policy ever exercises.  The static energy analyzer
+    (:mod:`repro.analysis.energy`) derives the set of *reachable* power
+    states — and hence the certified power floor/ceiling — from these
+    flags, so a policy that starts using a new control must also declare
+    it here or the analyzer's bounds become unsound for it.
+    """
 
     name = "base"
+    #: Policy may enter standby via spin-down (and thus spin up again).
+    can_spin_down = False
+    #: Policy may ramp a multi-speed (DRPM) disk below max RPM.
+    can_ramp = False
 
     def __init__(self) -> None:
         self.drive: Optional["Drive"] = None

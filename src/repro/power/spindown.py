@@ -22,6 +22,7 @@ class SimpleSpinDown(PowerPolicy):
     """Fixed-timeout spin-down (Figure 2(a)/(b))."""
 
     name = "simple"
+    can_spin_down = True
 
     def __init__(self, timeout: float = 0.050):
         """``timeout`` is the paper's *x* msec idleness threshold
@@ -48,6 +49,7 @@ class PredictionSpinDown(PowerPolicy):
     """Predictive spin-down with ahead-of-time wake-up."""
 
     name = "prediction"
+    can_spin_down = True
 
     def __init__(
         self,

@@ -86,6 +86,32 @@ class RaidMap:
             return self.n_disks // 2
         return self.n_disks
 
+    # ------------------------------------------------------------------
+    # Worst-case amplification bounds (shared with the static analyzer)
+    # ------------------------------------------------------------------
+    # Derived from the same translation rules _raid0/_raid5/_raid10
+    # implement below; the analyzer consumes these instead of hardcoding
+    # RAID arithmetic, and a test pins them against the actual
+    # translation so the two can never drift.
+
+    def write_op_amplification(self) -> int:
+        """Max physical ops one fault-free chunk-sized write produces."""
+        if self.level == 5:
+            return 4  # data write + parity write + two RMW pre-reads
+        if self.level == 10:
+            return 2  # both mirrors
+        return 1
+
+    def write_byte_amplification(self) -> int:
+        """Max physical bytes moved per logical byte written, fault-free."""
+        return self.write_op_amplification()
+
+    def read_op_amplification(self, degraded: bool = False) -> int:
+        """Max physical ops one fault-free (or degraded) chunk read costs."""
+        if degraded and self.level == 5:
+            return self.n_disks - 1  # parity reconstruction
+        return 1
+
     def _chunks(self, offset: int, size: int):
         """Yield (chunk_index, within, nbytes) covering the extent."""
         cursor = offset

@@ -12,7 +12,7 @@ from __future__ import annotations
 import zlib
 from dataclasses import dataclass
 
-__all__ = ["StripedFile", "StripeMap", "Extent"]
+__all__ = ["StripedFile", "StripeMap", "Extent", "plan_layout"]
 
 
 @dataclass(frozen=True)
@@ -50,6 +50,28 @@ class StripedFile:
         """Stripe rows this file occupies on each node."""
         stripes = -(-self.size // stripe_size)
         return -(-stripes // n_nodes)
+
+
+def plan_layout(
+    sizes: "dict[str, int]", stripe_size: int, n_nodes: int
+) -> dict[str, StripedFile]:
+    """The striped-file layout :meth:`ParallelFileSystem.create_file`
+    would allocate for ``sizes`` registered in iteration order.
+
+    Pure function of the inputs — the static analyzer uses it to reason
+    about node-local block identity (which cache blocks alias) without
+    instantiating the file system.  Must mirror ``create_file``'s
+    sequential base-row allocation exactly; a divergence makes the
+    analyzer reason about a different disk layout than the one simulated
+    (guarded by a test).
+    """
+    out: dict[str, StripedFile] = {}
+    base_row = 0
+    for name, size in sizes.items():
+        file = StripedFile(name, size, base_row=base_row)
+        out[name] = file
+        base_row += file.rows(stripe_size, n_nodes)
+    return out
 
 
 class StripeMap:

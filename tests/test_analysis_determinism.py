@@ -1,0 +1,336 @@
+"""Tests for the determinism lint, the diagnostic-code registry's
+collision guarantees, and the verify/lint/analyze CLI reporting contract.
+"""
+
+import io
+import json
+import textwrap
+
+import pytest
+
+from repro.analysis.determinism import (
+    WAIVER_MARK,
+    lint_determinism,
+    lint_source,
+)
+from repro.analysis.diagnostics import (
+    CODES,
+    code_families,
+    code_owner,
+    register_codes,
+)
+from repro.cli import main
+
+
+def lint(snippet: str):
+    return lint_source(textwrap.dedent(snippet), "x.py")
+
+
+# ----------------------------------------------------------------------
+# LINT101 — wall-clock reads
+# ----------------------------------------------------------------------
+class TestWallClock:
+    def test_time_time_flagged(self):
+        findings = lint("""\
+            import time
+            t = time.time()
+            """)
+        assert [d.code for d in findings] == ["LINT101"]
+        assert findings[0].anchor.block == 2
+
+    def test_aliased_import_resolved(self):
+        findings = lint("""\
+            import time as t
+            x = t.perf_counter()
+            """)
+        assert [d.code for d in findings] == ["LINT101"]
+
+    def test_from_import_resolved(self):
+        findings = lint("""\
+            from time import monotonic
+            x = monotonic()
+            """)
+        assert [d.code for d in findings] == ["LINT101"]
+
+    def test_datetime_now_flagged(self):
+        findings = lint("""\
+            import datetime
+            stamp = datetime.datetime.now()
+            """)
+        assert [d.code for d in findings] == ["LINT101"]
+
+    def test_waiver_comment_suppresses(self):
+        findings = lint(f"""\
+            import time
+            t = time.time()  {WAIVER_MARK} measuring wall time on purpose
+            """)
+        assert findings == []
+
+    def test_simulated_clock_not_flagged(self):
+        findings = lint("""\
+            t = sim.now()
+            """)
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+# LINT102 — unseeded randomness
+# ----------------------------------------------------------------------
+class TestUnseededRandom:
+    def test_module_level_random_flagged(self):
+        findings = lint("""\
+            import random
+            x = random.random()
+            y = random.choice([1, 2])
+            """)
+        assert [d.code for d in findings] == ["LINT102", "LINT102"]
+
+    def test_unseeded_random_instance_flagged(self):
+        findings = lint("""\
+            import random
+            rng = random.Random()
+            """)
+        assert [d.code for d in findings] == ["LINT102"]
+
+    def test_seeded_random_instance_clean(self):
+        findings = lint("""\
+            import random
+            rng = random.Random(42)
+            ok = random.seed(1)
+            """)
+        assert findings == []
+
+    def test_instance_method_calls_clean(self):
+        findings = lint("""\
+            import random
+            rng = random.Random(42)
+            x = rng.random()
+            """)
+        assert findings == []
+
+    def test_unseeded_default_rng_flagged(self):
+        findings = lint("""\
+            import numpy as np
+            rng = np.random.default_rng()
+            """)
+        assert [d.code for d in findings] == ["LINT102"]
+
+    def test_seeded_default_rng_clean(self):
+        findings = lint("""\
+            import numpy as np
+            rng = np.random.default_rng(7)
+            """)
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+# LINT103 — unsorted directory listings
+# ----------------------------------------------------------------------
+class TestUnsortedListings:
+    def test_listdir_flagged(self):
+        findings = lint("""\
+            import os
+            names = os.listdir("/tmp")
+            """)
+        assert [d.code for d in findings] == ["LINT103"]
+
+    def test_sorted_listdir_clean(self):
+        findings = lint("""\
+            import os
+            names = sorted(os.listdir("/tmp"))
+            """)
+        assert findings == []
+
+    def test_glob_module_flagged(self):
+        findings = lint("""\
+            import glob
+            files = glob.glob("*.json")
+            """)
+        assert [d.code for d in findings] == ["LINT103"]
+
+    def test_pathlib_glob_method_flagged(self):
+        findings = lint("""\
+            files = root.glob("*.json")
+            """)
+        assert [d.code for d in findings] == ["LINT103"]
+
+    def test_sorted_pathlib_glob_clean(self):
+        findings = lint("""\
+            files = sorted(root.rglob("*.py"))
+            """)
+        assert findings == []
+
+    def test_iterdir_in_comprehension_flagged(self):
+        findings = lint("""\
+            names = [p.name for p in path.iterdir()]
+            """)
+        assert [d.code for d in findings] == ["LINT103"]
+
+    def test_all_findings_are_errors(self):
+        from repro.analysis.diagnostics import Severity
+
+        findings = lint("""\
+            import os, time
+            os.listdir(".")
+            time.time()
+            """)
+        assert findings
+        assert all(d.severity is Severity.ERROR for d in findings)
+
+
+# ----------------------------------------------------------------------
+# The package's own sources must be clean — the CI hard gate
+# ----------------------------------------------------------------------
+class TestPackageClean:
+    def test_repro_package_has_no_findings(self):
+        report = lint_determinism()
+        assert not len(report), report.render_text(title="determinism")
+
+
+# ----------------------------------------------------------------------
+# Diagnostic-code registry: single source of truth, no collisions
+# ----------------------------------------------------------------------
+class TestCodeRegistry:
+    def test_new_families_registered(self):
+        families = code_families()
+        for family in ("ENERGY", "OCC", "PHASE", "LINT", "SCHED",
+                       "RACE", "CAP"):
+            assert family in families, f"missing family {family}"
+        assert families["ENERGY"] == ["ENERGY001", "ENERGY002",
+                                      "ENERGY003"]
+        assert families["OCC"] == ["OCC001", "OCC002"]
+        assert families["PHASE"] == ["PHASE001", "PHASE002"]
+
+    def test_ownership_is_tracked(self):
+        assert code_owner("ENERGY001") == "repro.analysis.energy"
+        assert code_owner("LINT101") == "repro.analysis.determinism"
+        with pytest.raises(ValueError):
+            code_owner("NOPE999")
+
+    def test_reregistering_existing_code_collides(self):
+        # ENERGY/OCC/PHASE/LINT cannot reuse or shadow each other's (or
+        # SCHED/RACE/CAP's) codes, even with a fresh owner.
+        for code in ("ENERGY001", "OCC001", "PHASE001", "LINT101",
+                     "SCHED001", "RACE001", "CAP001", "LINT001"):
+            assert code in CODES
+            with pytest.raises(ValueError, match="collides"):
+                register_codes("tests.shadow", {code: "hijack attempt"})
+
+    def test_identical_reregistration_is_idempotent(self):
+        register_codes(
+            code_owner("ENERGY001"),
+            {"ENERGY001": CODES["ENERGY001"]},
+        )
+
+    def test_malformed_codes_rejected(self):
+        with pytest.raises(ValueError, match="malformed"):
+            register_codes("tests.bad", {"lowercase1": "x"})
+        with pytest.raises(ValueError, match="malformed"):
+            register_codes("tests.bad", {"ENERGY1": "x"})
+        with pytest.raises(ValueError, match="empty summary"):
+            register_codes("tests.bad", {"ZZZ001": "  "})
+
+
+# ----------------------------------------------------------------------
+# CLI reporting contract: one JSON doc, uniform exit codes, --strict
+# ----------------------------------------------------------------------
+class TestReportingContract:
+    def test_reports_exit_codes(self):
+        from repro.analysis.diagnostics import (
+            Diagnostic,
+            Report,
+            Severity,
+        )
+        from repro.cli import _reports_exit
+
+        clean = Report()
+        warned = Report([Diagnostic("OCC002", Severity.WARNING, "w")])
+        errored = Report([Diagnostic("ENERGY001", Severity.ERROR, "e")])
+        assert _reports_exit([clean], strict=False) == 0
+        assert _reports_exit([clean, warned], strict=False) == 0
+        assert _reports_exit([clean, warned], strict=True) == 1
+        assert _reports_exit([errored], strict=False) == 1
+
+    def test_verify_json_is_single_document(self):
+        out = io.StringIO()
+        rc = main(["verify", "--app", "hf", "--scale", "0.05",
+                   "--format", "json"], out=out)
+        assert rc == 0
+        doc = json.loads(out.getvalue())
+        assert doc["command"] == "verify"
+        assert list(doc["sections"]) == ["hf"]
+        assert doc["clean"] is True
+
+    def test_json_alias_matches_format_json(self):
+        a, b = io.StringIO(), io.StringIO()
+        assert main(["lint", "--app", "hf", "--scale", "0.05",
+                     "--json"], out=a) == 0
+        assert main(["lint", "--app", "hf", "--scale", "0.05",
+                     "--format", "json"], out=b) == 0
+        assert json.loads(a.getvalue()) == json.loads(b.getvalue())
+
+    def test_lint_determinism_section(self):
+        out = io.StringIO()
+        rc = main(["lint", "--app", "hf", "--scale", "0.05",
+                   "--determinism", "--json"], out=out)
+        assert rc == 0
+        doc = json.loads(out.getvalue())
+        assert list(doc["sections"]) == ["hf", "determinism"]
+        assert doc["sections"]["determinism"]["clean"] is True
+
+    def test_format_and_json_flags_conflict(self):
+        with pytest.raises(SystemExit) as exc:
+            main(["verify", "--app", "hf", "--json", "--format", "json"],
+                 out=io.StringIO())
+        assert exc.value.code == 2
+
+
+class TestAnalyzeCLI:
+    def test_analyze_text_table(self):
+        out = io.StringIO()
+        rc = main(["analyze", "--app", "hf", "--scale", "0.05",
+                   "--clients", "4", "--ionodes", "4"], out=out)
+        assert rc == 0
+        text = out.getvalue()
+        assert "energy envelopes" in text
+        for policy in ("default", "simple", "history"):
+            assert policy in text
+        assert "ENERGY003" in text  # default policy's no-savings note
+
+    def test_analyze_json_document(self):
+        out = io.StringIO()
+        rc = main(["analyze", "--app", "hf", "--policy", "simple",
+                   "--scheme", "off", "--scale", "0.05",
+                   "--clients", "4", "--ionodes", "4", "--json"], out=out)
+        assert rc == 0
+        doc = json.loads(out.getvalue())
+        assert doc["command"] == "analyze"
+        assert doc["checked"] is False
+        (config,) = doc["configs"]
+        assert config["app"] == "hf"
+        assert config["policy"] == "simple"
+        assert config["scheme"] is False
+        env = config["envelope"]
+        assert env["energy_j"]["lo"] <= env["energy_j"]["hi"]
+
+    def test_analyze_check_cross_validates(self, tmp_path):
+        out = io.StringIO()
+        metrics = tmp_path / "env.json"
+        rc = main(["analyze", "--app", "hf", "--policy", "default",
+                   "--scheme", "off", "--scale", "0.05",
+                   "--clients", "4", "--ionodes", "4", "--check",
+                   "--metrics", str(metrics), "--json"], out=out)
+        assert rc == 0
+        doc = json.loads(out.getvalue())
+        (config,) = doc["configs"]
+        assert config["contained"] is True
+        assert config["envelope"]["energy_j"]["lo"] <= (
+            config["measured_j"]
+        ) <= config["envelope"]["energy_j"]["hi"]
+        snap = json.loads(metrics.read_text())
+        assert snap["gauges"]["analysis.hf.default.off.contained"] == 1.0
+
+    def test_analyze_unknown_app_exits_2(self):
+        with pytest.raises(SystemExit) as exc:
+            main(["analyze", "--app", "nope"], out=io.StringIO())
+        assert exc.value.code == 2
