@@ -11,7 +11,12 @@ Ten subcommands:
   the merged output is bit-identical to an uninterrupted run;
 * ``bench`` — time the figure grid (serial vs parallel vs warm cache) and
   write a ``BENCH_*.json`` perf record; with ``--trace`` it also times a
-  traced pass and ``--max-trace-overhead`` gates the slowdown;
+  traced pass and ``--max-trace-overhead`` gates the slowdown; the record
+  carries per-point kernel throughput (events/sec) and a fixed kernel
+  shootout racing every simulation kernel on the ``sweep`` workload
+  (bit-identity asserted), it is diffed against the latest prior record
+  in ``--output-dir`` (a missing trajectory only warns), and
+  ``--profile [N]`` prints a cProfile top-N table per grid point;
 * ``report`` — render a metrics snapshot produced by ``--metrics`` as
   grouped tables (or JSON), optionally merging several snapshots;
 * ``schedule`` — compile a workload's I/O schedule and print its stats
@@ -58,6 +63,7 @@ Examples::
 
     python -m repro list
     python -m repro run --app sar --policy history --scheme --scale 0.1
+    python -m repro run --app sweep --policy simple --kernel analytic
     python -m repro run --app sar --policy simple --scheme \\
         --trace out.jsonl --metrics out.json
     python -m repro report out.json --filter 'drive.*'
@@ -67,6 +73,7 @@ Examples::
     python -m repro resume fig12c.journal
     python -m repro bench --quick --jobs 4
     python -m repro bench --quick --trace trace.jsonl --max-trace-overhead 0.05
+    python -m repro bench --quick --kernel calendar --profile 8
     python -m repro schedule --app hf --scale 0.1 --timeline
     python -m repro verify --scale 0.1           # all six workloads
     python -m repro verify --app madbench2 --json
@@ -102,9 +109,15 @@ from .experiments import (
     table3,
 )
 from .metrics import format_percent, format_table
+from .sim.kernels import DEFAULT_KERNEL, kernel_names
 from .workloads import all_workloads
 
 __all__ = ["main"]
+
+#: Every registered workload — the paper's six (APPS) plus extras like
+#: ``sweep``; ``--app`` accepts any of them, while the all-apps defaults
+#: of verify/lint/analyze stay pinned to the paper corpus.
+WORKLOAD_CHOICES = tuple(w.name for w in all_workloads())
 
 FIGURES = {
     "table2": lambda runner: table2_rows(runner.config),
@@ -210,7 +223,7 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("list", help="list workloads and policies")
 
     run_p = sub.add_parser("run", help="simulate one configuration")
-    run_p.add_argument("--app", required=True, choices=APPS)
+    run_p.add_argument("--app", required=True, choices=WORKLOAD_CHOICES)
     run_p.add_argument(
         "--policy", default="default", choices=("default",) + POLICIES
     )
@@ -218,6 +231,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="enable the compiler-directed scheduling")
     run_p.add_argument("--scale", type=float, default=None,
                        help="workload scale (default: REPRO_SCALE or 0.25)")
+    run_p.add_argument("--kernel", default=None, choices=kernel_names(),
+                       help="simulation kernel (default: "
+                       f"{DEFAULT_KERNEL}); results are bit-identical "
+                       "across kernels, only speed differs")
     run_p.add_argument("--clients", type=int, default=None)
     run_p.add_argument("--ionodes", type=int, default=None)
     run_p.add_argument("--delta", type=int, default=None)
@@ -231,6 +248,10 @@ def build_parser() -> argparse.ArgumentParser:
     fig_p = sub.add_parser("figure", help="regenerate a paper table/figure")
     fig_p.add_argument("name", choices=sorted(FIGURES))
     fig_p.add_argument("--scale", type=float, default=None)
+    fig_p.add_argument("--kernel", default=None, choices=kernel_names(),
+                       help="simulation kernel for every grid point "
+                       f"(default: {DEFAULT_KERNEL}; the figure output "
+                       "is identical either way)")
     fig_p.add_argument("--faults", default=None, metavar="PLAN.json",
                        help="inject the given fault plan into every grid "
                        "point of the figure")
@@ -254,6 +275,18 @@ def build_parser() -> argparse.ArgumentParser:
     bench_p.add_argument("--jobs", type=int, default=4, metavar="N",
                          help="worker processes for the parallel pass")
     bench_p.add_argument("--scale", type=float, default=None)
+    bench_p.add_argument("--kernel", default=None, choices=kernel_names(),
+                         help="simulation kernel the grid passes run "
+                         f"under (default: {DEFAULT_KERNEL}); the kernel "
+                         "shootout always races all of them")
+    bench_p.add_argument("--profile", type=int, nargs="?", const=12,
+                         default=None, metavar="N",
+                         help="also cProfile each grid point serially and "
+                         "print the top N functions by tottime "
+                         "(default N: 12)")
+    bench_p.add_argument("--no-shootout", action="store_true",
+                         help="skip the fixed-scale kernel shootout "
+                         "(sweep workload, all kernels)")
     bench_p.add_argument("--figures", nargs="*", default=None,
                          metavar="FIG", help="subset of figures to grid")
     bench_p.add_argument("--output-dir", default=".", metavar="DIR",
@@ -285,7 +318,7 @@ def build_parser() -> argparse.ArgumentParser:
                           "(e.g. 'drive.*' or '*.energy.*')")
 
     sched_p = sub.add_parser("schedule", help="compile and inspect a schedule")
-    sched_p.add_argument("--app", required=True, choices=APPS)
+    sched_p.add_argument("--app", required=True, choices=WORKLOAD_CHOICES)
     sched_p.add_argument("--scale", type=float, default=None)
     sched_p.add_argument("--timeline", action="store_true",
                          help="print per-node I/O density before/after")
@@ -295,7 +328,7 @@ def build_parser() -> argparse.ArgumentParser:
     verify_p = sub.add_parser(
         "verify", help="statically verify a compiled schedule (no simulation)"
     )
-    verify_p.add_argument("--app", default=None, choices=APPS,
+    verify_p.add_argument("--app", default=None, choices=WORKLOAD_CHOICES,
                           help="workload to verify (default: all)")
     verify_p.add_argument("--scale", type=float, default=None)
     verify_p.add_argument("--clients", type=int, default=None)
@@ -307,7 +340,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_report_flags(verify_p)
 
     lint_p = sub.add_parser("lint", help="lint a workload's IR trace")
-    lint_p.add_argument("--app", default=None, choices=APPS,
+    lint_p.add_argument("--app", default=None, choices=WORKLOAD_CHOICES,
                         help="workload to lint (default: all)")
     lint_p.add_argument("--scale", type=float, default=None)
     lint_p.add_argument("--determinism", action="store_true",
@@ -320,7 +353,7 @@ def build_parser() -> argparse.ArgumentParser:
         "analyze",
         help="certify static energy bounds without simulating",
     )
-    analyze_p.add_argument("--app", default=None, choices=APPS,
+    analyze_p.add_argument("--app", default=None, choices=WORKLOAD_CHOICES,
                            help="workload to analyze (default: all)")
     analyze_p.add_argument(
         "--policy", default=None, choices=("default",) + POLICIES,
@@ -361,6 +394,8 @@ def _config(args) -> "ExperimentConfig":
         value = getattr(args, attr, None)
         if value is not None:
             overrides[field] = value
+    if getattr(args, "kernel", None):
+        overrides["kernel"] = args.kernel
     if getattr(args, "faults", None):
         from .faults import load_plan
 
@@ -430,6 +465,8 @@ def _campaign_argv(args, command: str) -> list[str]:
                 argv += [flag, str(value)]
     if args.scale is not None:
         argv += ["--scale", repr(args.scale)]
+    if getattr(args, "kernel", None):
+        argv += ["--kernel", args.kernel]
     if getattr(args, "faults", None):
         argv += ["--faults", os.path.abspath(args.faults)]
     argv += ["--jobs", str(args.jobs)]
@@ -598,6 +635,8 @@ def cmd_figure(args, out) -> int:
     )
 
     cfg = default_config(scale=args.scale)
+    if getattr(args, "kernel", None):
+        cfg = cfg.scaled(kernel=args.kernel)
     if getattr(args, "faults", None):
         from .faults import load_plan
 
@@ -664,7 +703,15 @@ def cmd_resume(args, out) -> int:
 
 
 def cmd_bench(args, out) -> int:
-    from .exec import GRID_FIGURES, QUICK_FIGURES, run_bench, write_bench_record
+    from .exec import (
+        GRID_FIGURES,
+        QUICK_FIGURES,
+        all_figure_points,
+        compare_with_previous,
+        profile_grid,
+        run_bench,
+        write_bench_record,
+    )
 
     scale = args.scale if args.scale is not None else (
         0.05 if args.quick else None
@@ -678,20 +725,46 @@ def cmd_bench(args, out) -> int:
         print("--trace needs the serial baseline (drop --no-serial)",
               file=sys.stderr)
         return 2
+    cfg = default_config(scale=scale)
+    if getattr(args, "kernel", None):
+        cfg = cfg.scaled(kernel=args.kernel)
     record = run_bench(
-        config=default_config(scale=scale),
+        config=cfg,
         figures=tuple(figures),
         jobs=args.jobs,
         compare_serial=not args.no_serial,
         trace_path=args.trace,
         repeats=args.repeats,
+        shootout=not args.no_shootout,
     )
     path = write_bench_record(record, args.output_dir)
     rows = [(k, v) for k, v in record.items()
             if isinstance(v, (int, float, str)) and k != "kind"]
     print(format_table(("field", "value"), rows, title="repro bench"),
           file=out)
+    shootout = record.get("kernel_shootout")
+    if shootout:
+        srows = [
+            (name, f"{k['seconds']:.4f} s", f"{k['events_per_sec']:,.0f}",
+             f"{k['effective_events_per_sec']:,.0f}",
+             f"{k['speedup_vs_heap']:.2f}x")
+            for name, k in shootout["kernels"].items()
+        ]
+        print(file=out)
+        print(format_table(
+            ("kernel", "seconds", "events/s", "effective ev/s", "speedup"),
+            srows,
+            title=f"kernel shootout ({shootout['workload']} @ scale "
+            f"{shootout['scale']}, best of {shootout['repeats']})",
+        ), file=out)
     print(f"record written to {path}", file=out)
+    compare_with_previous(record, args.output_dir, exclude=path, out=out)
+    if args.profile is not None:
+        points = all_figure_points(cfg, names=tuple(figures))
+        for label, table in profile_grid(points, top=args.profile):
+            print(file=out)
+            print(f"--- profile: {label}", file=out)
+            print(table, file=out)
     if args.max_trace_overhead is not None:
         overhead = record.get("trace_overhead")
         if overhead is None:

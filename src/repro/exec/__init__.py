@@ -18,7 +18,14 @@ Layout:
   perf records.
 """
 
-from .bench import QUICK_FIGURES, run_bench, write_bench_record
+from .bench import (
+    QUICK_FIGURES,
+    compare_with_previous,
+    kernel_shootout,
+    profile_grid,
+    run_bench,
+    write_bench_record,
+)
 from .cache import CacheStats, ResultCache, point_digest
 from .executor import (
     ExecStats,
@@ -33,6 +40,7 @@ from .grid import (
     all_figure_points,
     figure_points,
     with_fault_plan,
+    with_kernel,
 )
 from .serialize import (
     JOURNAL_SCHEMA_VERSION,
@@ -71,9 +79,13 @@ __all__ = [
     "figure_points",
     "all_figure_points",
     "with_fault_plan",
+    "with_kernel",
     "GRID_FIGURES",
     "QUICK_FIGURES",
     "run_bench",
+    "kernel_shootout",
+    "profile_grid",
+    "compare_with_previous",
     "write_bench_record",
     "BOUNDARY_ERRORS",
     "CampaignFailed",

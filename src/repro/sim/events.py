@@ -12,7 +12,7 @@ from __future__ import annotations
 import itertools
 from typing import Any, Callable, Optional
 
-__all__ = ["Event", "Timeout", "Signal", "AllOf", "AnyOf"]
+__all__ = ["Event", "Timeout", "ComputePhase", "Signal", "AllOf", "AnyOf"]
 
 _event_ids = itertools.count()
 
@@ -80,6 +80,33 @@ class Timeout:
         return f"Timeout({self.delay})"
 
 
+class ComputePhase:
+    """Yielded by a process to jump to a precomputed *absolute* time.
+
+    The analytic fast path collapses a run of ``n_slots`` I/O-free compute
+    slots into one event.  The target time is computed by the client with
+    exactly the chained additions the per-slot path would have performed
+    (``t = t + cost`` per slot), so it must be delivered verbatim: going
+    through :class:`Timeout` would re-derive it as ``now + (t - now)``,
+    which is *not* ``t`` in floating point.  Kernels honour it via
+    ``schedule_at_exact``.
+    """
+
+    __slots__ = ("resume_at", "n_slots")
+
+    def __init__(self, resume_at: float, n_slots: int = 1):
+        if n_slots < 1:
+            raise ValueError(f"phase must cover at least one slot: {n_slots}")
+        self.resume_at = resume_at
+        self.n_slots = n_slots
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"ComputePhase(resume_at={self.resume_at}, slots={self.n_slots})"
+
+
+_NO_WAITERS: tuple = ()
+
+
 class Signal:
     """A one-shot waitable condition carrying an optional value.
 
@@ -88,6 +115,11 @@ class Signal:
     resumed (in wait order) when it fires.  Firing twice is an error unless
     the signal was constructed with ``restartable=True``, in which case
     :meth:`reset` re-arms it.
+
+    The waiter list is allocated lazily: most signals (per-slot clock
+    advances, uncontended completions) fire with no waiter ever attached,
+    so eagerly building a list per signal is pure allocator pressure on
+    the hot path.
     """
 
     __slots__ = ("name", "fired", "value", "_waiters", "restartable")
@@ -97,13 +129,17 @@ class Signal:
         self.fired = False
         self.value: Any = None
         self.restartable = restartable
-        self._waiters: list[Callable[[Any], None]] = []
+        self._waiters: Optional[list[Callable[[Any], None]]] = None
 
     def add_waiter(self, resume: Callable[[Any], None]) -> None:
         """Register a resume callback (kernel use)."""
-        self._waiters.append(resume)
+        waiters = self._waiters
+        if waiters is None:
+            self._waiters = [resume]
+        else:
+            waiters.append(resume)
 
-    def fire(self, value: Any = None) -> list[Callable[[Any], None]]:
+    def fire(self, value: Any = None) -> "list[Callable[[Any], None]] | tuple":
         """Mark the signal fired and return the callbacks to resume.
 
         The engine (not the caller) invokes the returned callbacks so that
@@ -113,7 +149,10 @@ class Signal:
             raise RuntimeError(f"signal {self.name!r} fired twice")
         self.fired = True
         self.value = value
-        waiters, self._waiters = self._waiters, []
+        waiters = self._waiters
+        if waiters is None:
+            return _NO_WAITERS
+        self._waiters = None
         return waiters
 
     def reset(self) -> None:
@@ -125,10 +164,11 @@ class Signal:
 
     @property
     def waiter_count(self) -> int:
-        return len(self._waiters)
+        waiters = self._waiters
+        return 0 if waiters is None else len(waiters)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
-        state = "fired" if self.fired else f"pending({len(self._waiters)} waiters)"
+        state = "fired" if self.fired else f"pending({self.waiter_count} waiters)"
         return f"Signal({self.name!r}, {state})"
 
 

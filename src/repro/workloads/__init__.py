@@ -1,6 +1,7 @@
-"""The six application models of the paper's evaluation (Table III).
+"""The six application models of the paper's evaluation (Table III),
+plus the ``sweep`` raster-scan model from the related work.
 
-Importing this package registers all six; use :func:`get_workload` /
+Importing this package registers all of them; use :func:`get_workload` /
 :func:`all_workloads` to enumerate them.
 """
 
@@ -8,7 +9,7 @@ from .base import WorkloadInfo, all_workloads, get_workload, jitter, register
 from .multi import merge_traces
 
 # Importing the modules registers each workload.
-from . import apsi, astro, hf, madbench2, sar, wupwise  # noqa: F401,E402
+from . import apsi, astro, hf, madbench2, sar, sweep, wupwise  # noqa: F401,E402
 
 __all__ = [
     "WorkloadInfo",
@@ -23,4 +24,5 @@ __all__ = [
     "apsi",
     "madbench2",
     "wupwise",
+    "sweep",
 ]

@@ -1,0 +1,119 @@
+"""Tests for the ``repro bench`` record trajectory and profiling helpers.
+
+The expensive paths (full ``run_bench`` with kernel shootout) are
+exercised through the CLI smoke test; here we pin the pure record
+plumbing: picking the latest prior record, the warn-and-seed behavior on
+an empty trajectory, delta reporting, and the cProfile table shape.
+"""
+
+import io
+import json
+
+from repro.exec import RunPoint, compare_with_previous, profile_grid
+from repro.exec.bench import latest_bench_record, write_bench_record
+from repro.experiments import ExperimentConfig
+
+SMALL = ExperimentConfig(n_clients=8, n_ionodes=4, workload_scale=0.05)
+
+
+def fake_record(**overrides):
+    record = {
+        "kind": "repro-bench",
+        "serial_seconds": 2.0,
+        "parallel_seconds": 1.0,
+        "warm_seconds": 0.01,
+        "events_per_sec": 100000.0,
+    }
+    record.update(overrides)
+    return record
+
+
+class TestLatestBenchRecord:
+    def test_empty_dir_is_none(self, tmp_path):
+        assert latest_bench_record(tmp_path) is None
+        assert latest_bench_record(tmp_path / "missing") is None
+
+    def test_picks_newest_by_timestamp_name(self, tmp_path):
+        for stamp in ("20260101T000000", "20260301T000000", "20260201T000000"):
+            (tmp_path / f"BENCH_{stamp}.json").write_text("{}")
+        latest = latest_bench_record(tmp_path)
+        assert latest is not None
+        assert latest.name == "BENCH_20260301T000000.json"
+
+    def test_exclude_skips_the_record_just_written(self, tmp_path):
+        older = tmp_path / "BENCH_20260101T000000.json"
+        newer = tmp_path / "BENCH_20260301T000000.json"
+        older.write_text("{}")
+        newer.write_text("{}")
+        assert latest_bench_record(tmp_path, exclude=newer) == older
+        assert latest_bench_record(tmp_path, exclude=older) == newer
+
+    def test_exclude_only_record_is_none(self, tmp_path):
+        only = tmp_path / "BENCH_20260101T000000.json"
+        only.write_text("{}")
+        assert latest_bench_record(tmp_path, exclude=only) is None
+
+
+class TestCompareWithPrevious:
+    def test_empty_trajectory_warns_and_seeds(self, tmp_path):
+        """No prior record must never crash the bench — it warns and the
+        fresh record becomes the baseline."""
+        err = io.StringIO()
+        outcome = compare_with_previous(fake_record(), tmp_path, out=err)
+        assert outcome is None
+        assert "seeds the trajectory" in err.getvalue()
+
+    def test_unreadable_prior_warns_not_raises(self, tmp_path):
+        (tmp_path / "BENCH_20260101T000000.json").write_text("not json{")
+        err = io.StringIO()
+        outcome = compare_with_previous(fake_record(), tmp_path, out=err)
+        assert outcome is None
+        assert "warning" in err.getvalue()
+
+    def test_deltas_against_prior(self, tmp_path):
+        prior = tmp_path / "BENCH_20260101T000000.json"
+        prior.write_text(json.dumps(fake_record(
+            serial_seconds=4.0, events_per_sec=50000.0,
+        )))
+        err = io.StringIO()
+        outcome = compare_with_previous(fake_record(), tmp_path, out=err)
+        assert outcome is not None
+        assert outcome["previous"] == prior.name
+        deltas = outcome["deltas"]
+        assert deltas["serial_seconds"] == -0.5     # 4.0s -> 2.0s
+        assert deltas["events_per_sec"] == 1.0      # 50k -> 100k
+        text = err.getvalue()
+        assert prior.name in text
+        assert "serial_seconds: 4 -> 2" in text
+
+    def test_skips_metrics_absent_from_either_side(self, tmp_path):
+        prior = tmp_path / "BENCH_20260101T000000.json"
+        prior.write_text(json.dumps({"kind": "repro-bench",
+                                     "serial_seconds": 4.0}))
+        outcome = compare_with_previous(
+            fake_record(), tmp_path, out=io.StringIO()
+        )
+        assert outcome is not None
+        assert "events_per_sec" not in outcome["deltas"]
+        assert "serial_seconds" in outcome["deltas"]
+
+
+class TestWriteBenchRecord:
+    def test_round_trips_and_names_by_timestamp(self, tmp_path):
+        path = write_bench_record(
+            fake_record(created="2026-01-01T00:00:00"), tmp_path
+        )
+        assert path.name.startswith("BENCH_")
+        assert json.loads(path.read_text())["kind"] == "repro-bench"
+
+
+class TestProfileGrid:
+    def test_profile_table_per_point(self):
+        points = [RunPoint("sar", "simple", False, SMALL)]
+        blocks = profile_grid(points, top=5)
+        assert len(blocks) == 1
+        label, table = blocks[0]
+        assert label == "sar/simple/plain"
+        # A real pstats table sorted by tottime.
+        assert "tottime" in table
+        assert "function calls" in table
