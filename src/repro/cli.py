@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Ten subcommands:
+Twelve subcommands:
 
 * ``list`` — the registered workloads and policies;
 * ``run`` — simulate one (workload, policy, scheme) combination and print
@@ -33,7 +33,18 @@ Ten subcommands:
   [lower, upper] energy envelopes, per-node residency intervals and
   occupancy/idle-gap diagnostics per configuration, all without
   simulating; ``--check`` additionally runs the DES and fails if any
-  measured energy escapes its envelope (the CI soundness gate).
+  measured energy escapes its envelope (the CI soundness gate);
+* ``serve`` — run the persistent scheduling service: JSON-over-HTTP
+  submission of experiment points and grids into a bounded work queue
+  backed by the supervisor/executor/cache stack, with per-tenant cache
+  namespaces, coalescing of identical in-flight submissions, 429 +
+  ``Retry-After`` backpressure, and graceful drain on SIGTERM/SIGINT;
+* ``loadtest`` — drive the synthetic load harness at a scheduling
+  server (``--url``, or an in-process one on an ephemeral port when
+  omitted): N concurrent keep-alive clients over a mixed workload,
+  reporting requests/sec, p50/p99 latency, cache hit rate and coalesced
+  submissions; exits non-zero on any failed request or a blown
+  ``--p99-budget``.
 
 ``verify``, ``lint`` and ``analyze`` share one reporting contract so CI
 gates consume them uniformly: ``--format {text,json}`` (``--json`` is an
@@ -81,6 +92,9 @@ Examples::
     python -m repro lint --determinism --strict
     python -m repro analyze --app hf --scale 0.1
     python -m repro analyze --check --scale 0.05 --format json
+    python -m repro serve --port 8177 --scale 0.1
+    python -m repro loadtest --clients 32 --requests 4 --scale 0.05
+    python -m repro loadtest --url http://127.0.0.1:8177 --clients 32
 """
 
 from __future__ import annotations
@@ -305,6 +319,80 @@ def build_parser() -> argparse.ArgumentParser:
                          help="exit non-zero if the traced pass is more "
                          "than FRAC slower than the untraced one "
                          "(e.g. 0.05 = 5%%)")
+    bench_p.add_argument("--no-server", action="store_true",
+                         help="skip the serving-throughput block (an "
+                         "in-process load-test of the scheduling service)")
+
+    serve_p = sub.add_parser(
+        "serve", help="run the persistent scheduling service (JSON/HTTP)"
+    )
+    serve_p.add_argument("--host", default="127.0.0.1",
+                         help="bind address (default: 127.0.0.1)")
+    serve_p.add_argument("--port", type=int, default=8177,
+                         help="TCP port (default: 8177; 0 = ephemeral)")
+    serve_p.add_argument("--scale", type=float, default=None,
+                         help="base workload scale submissions override "
+                         "(default: REPRO_SCALE or 0.25)")
+    serve_p.add_argument("--kernel", default=None, choices=kernel_names(),
+                         help="base simulation kernel (default: "
+                         f"{DEFAULT_KERNEL})")
+    serve_p.add_argument("--jobs", type=int, default=1, metavar="N",
+                         help="worker processes per batch (default: 1 = "
+                         "in-process)")
+    serve_p.add_argument("--workers", type=int, default=2, metavar="N",
+                         help="concurrent batch workers (default: 2)")
+    serve_p.add_argument("--queue-limit", type=int, default=256, metavar="N",
+                         help="bounded work-queue depth; submissions beyond "
+                         "it get 429 + Retry-After (default: 256)")
+    serve_p.add_argument("--retries", type=int, default=1, metavar="N",
+                         help="extra attempts per failed point (default: 1)")
+    serve_p.add_argument("--no-verify", action="store_true",
+                         help="skip static schedule verification of scheme "
+                         "submissions")
+    serve_p.add_argument("--cache-dir", default=None, metavar="DIR",
+                         help="result cache root; tenants live in "
+                         "DIR/<tenant> (default: $REPRO_CACHE_DIR or "
+                         "./.repro-cache)")
+    serve_p.add_argument("--no-cache", action="store_true",
+                         help="serve without a result cache (every "
+                         "submission simulates)")
+
+    load_p = sub.add_parser(
+        "loadtest", help="drive the synthetic load harness at a server"
+    )
+    load_p.add_argument("--url", default=None, metavar="URL",
+                        help="target server, e.g. http://127.0.0.1:8177 "
+                        "(default: spin one up in-process on an ephemeral "
+                        "port with a temporary cache)")
+    load_p.add_argument("--clients", type=int, default=32, metavar="N",
+                        help="concurrent clients, one keep-alive "
+                        "connection each (default: 32)")
+    load_p.add_argument("--requests", type=int, default=4, metavar="N",
+                        help="requests per client (default: 4)")
+    load_p.add_argument("--apps", default="sar,hf", metavar="A,B,...",
+                        help="comma-separated workload mix "
+                        "(default: sar,hf)")
+    load_p.add_argument("--policy", default="simple",
+                        choices=("default",) + POLICIES,
+                        help="power policy of every mix point "
+                        "(default: simple)")
+    load_p.add_argument("--schemes", choices=("off", "on", "both"),
+                        default="both",
+                        help="scheme variants in the mix (default: both)")
+    load_p.add_argument("--tenant", default="default",
+                        help="tenant namespace to submit under")
+    load_p.add_argument("--scale", type=float, default=None,
+                        help="workload scale of the in-process server "
+                        "(ignored with --url)")
+    load_p.add_argument("--no-warm", action="store_true",
+                        help="skip the cache-warming phase (the burst "
+                        "then measures simulation, not serving)")
+    load_p.add_argument("--p99-budget", type=float, default=None,
+                        metavar="SEC",
+                        help="exit non-zero if p99 latency exceeds SEC "
+                        "seconds")
+    load_p.add_argument("--json", action="store_true",
+                        help="emit the full report as JSON")
 
     report_p = sub.add_parser(
         "report", help="render a metrics snapshot written by --metrics"
@@ -736,6 +824,7 @@ def cmd_bench(args, out) -> int:
         trace_path=args.trace,
         repeats=args.repeats,
         shootout=not args.no_shootout,
+        server=not args.no_server,
     )
     path = write_bench_record(record, args.output_dir)
     rows = [(k, v) for k, v in record.items()
@@ -757,6 +846,11 @@ def cmd_bench(args, out) -> int:
             title=f"kernel shootout ({shootout['workload']} @ scale "
             f"{shootout['scale']}, best of {shootout['repeats']})",
         ), file=out)
+    server_block = record.get("server")
+    if server_block:
+        print(file=out)
+        print(_loadtest_table(server_block, title="serving throughput"),
+              file=out)
     print(f"record written to {path}", file=out)
     compare_with_previous(record, args.output_dir, exclude=path, out=out)
     if args.profile is not None:
@@ -782,6 +876,163 @@ def cmd_bench(args, out) -> int:
             f"trace overhead {overhead:.1%} within the "
             f"{args.max_trace_overhead:.1%} budget",
             file=out,
+        )
+    return 0
+
+
+def _loadtest_table(report: dict, title: str) -> str:
+    """Render a load-harness report dict as the standard two-column table."""
+    latency = report.get("latency_ms", {})
+    rows = [
+        ("clients", report.get("clients")),
+        ("requests", report.get("requests")),
+        ("ok", report.get("ok")),
+        ("failed", report.get("failed")),
+        ("requests/sec", report.get("rps")),
+        ("p50 latency", f"{latency.get('p50', 0.0):.1f} ms"),
+        ("p99 latency", f"{latency.get('p99', 0.0):.1f} ms"),
+        ("mean latency", f"{latency.get('mean', 0.0):.1f} ms"),
+        ("cache hit rate", format_percent(report.get("cache_hit_rate", 0.0))),
+        ("coalesced", report.get("batched")),
+        ("simulated", report.get("simulated")),
+        ("queue depth peak", int(report.get("queue_depth_peak", 0))),
+        ("429 retries", report.get("rejected_retries")),
+    ]
+    return format_table(("metric", "value"), rows, title=title)
+
+
+def cmd_serve(args, out) -> int:
+    import asyncio
+    import signal
+    from pathlib import Path
+
+    from .serve import SchedulingServer, ServerConfig
+
+    cfg = default_config(scale=args.scale)
+    if args.kernel:
+        cfg = cfg.scaled(kernel=args.kernel)
+    cache_dir = _resolved_cache_dir(args)
+    try:
+        server_config = ServerConfig(
+            host=args.host,
+            port=args.port,
+            cache_root=Path(cache_dir) if cache_dir is not None else None,
+            base_config=cfg,
+            jobs=args.jobs,
+            workers=args.workers,
+            queue_limit=args.queue_limit,
+            retries=args.retries,
+            verify=not args.no_verify,
+        )
+    except ValueError as exc:
+        print(f"bad server configuration: {exc}", file=sys.stderr)
+        return 2
+
+    async def _main() -> None:
+        server = SchedulingServer(server_config)
+        await server.start()
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            loop.add_signal_handler(sig, server.request_shutdown)
+        print(
+            f"[serve] listening on {server.address} "
+            f"(cache: {cache_dir or 'disabled'}, "
+            f"scale {cfg.workload_scale}); SIGTERM drains",
+            file=sys.stderr,
+        )
+        await server.wait_stopped()
+        await server.stop()
+        print("[serve] drained, shut down cleanly", file=sys.stderr)
+
+    asyncio.run(_main())
+    return 0
+
+
+def cmd_loadtest(args, out) -> int:
+    import asyncio
+    import json as json_mod
+    import tempfile
+    from pathlib import Path
+    from urllib.parse import urlsplit
+
+    from .serve import LoadgenConfig, run_inprocess_loadtest, run_loadgen
+
+    apps = tuple(a.strip() for a in args.apps.split(",") if a.strip())
+    bad = sorted(set(apps) - set(WORKLOAD_CHOICES))
+    if bad:
+        print(f"unknown workload(s): {', '.join(bad)}", file=sys.stderr)
+        return 2
+    schemes = {"off": (False,), "on": (True,), "both": (False, True)}[
+        args.schemes
+    ]
+    mix = [
+        {"workload": app, "policy": args.policy, "scheme": scheme}
+        for app in apps
+        for scheme in schemes
+    ]
+
+    try:
+        if args.url:
+            split = urlsplit(args.url)
+            if not split.hostname:
+                print(f"bad --url {args.url!r}", file=sys.stderr)
+                return 2
+            report = asyncio.run(
+                run_loadgen(
+                    LoadgenConfig(
+                        host=split.hostname,
+                        port=split.port or 8177,
+                        clients=args.clients,
+                        requests=args.requests,
+                        mix=tuple(mix),
+                        tenant=args.tenant,
+                        warm=not args.no_warm,
+                    )
+                )
+            )
+        else:
+            cfg = default_config(scale=args.scale)
+            with tempfile.TemporaryDirectory(
+                prefix="repro-loadtest-cache-"
+            ) as td:
+                report = asyncio.run(
+                    run_inprocess_loadtest(
+                        cfg,
+                        Path(td),
+                        clients=args.clients,
+                        requests=args.requests,
+                        mix=mix,
+                        warm=not args.no_warm,
+                    )
+                )
+    except (ConnectionError, OSError, RuntimeError) as exc:
+        print(f"loadtest failed: {exc}", file=sys.stderr)
+        return 2
+
+    if args.json:
+        print(json_mod.dumps(report, indent=2, sort_keys=True), file=out)
+    else:
+        print(_loadtest_table(report, title="repro loadtest"), file=out)
+        for err in report.get("errors", []):
+            print(f"  error: {err}", file=sys.stderr)
+
+    if report["failed"]:
+        print(f"{report['failed']} request(s) failed", file=sys.stderr)
+        return 1
+    if args.p99_budget is not None:
+        p99_s = report["latency_ms"]["p99"] / 1e3
+        if p99_s > args.p99_budget:
+            print(
+                f"p99 latency {p99_s:.3f}s exceeds the "
+                f"{args.p99_budget:g}s budget",
+                file=sys.stderr,
+            )
+            return 1
+        print(
+            f"p99 latency {p99_s:.3f}s within the "
+            f"{args.p99_budget:g}s budget",
+            # Keep stdout pure JSON under --json (pipelines redirect it).
+            file=sys.stderr if args.json else out,
         )
     return 0
 
@@ -981,6 +1232,8 @@ _HANDLERS = {
     "figure": cmd_figure,
     "resume": cmd_resume,
     "bench": cmd_bench,
+    "serve": cmd_serve,
+    "loadtest": cmd_loadtest,
     "report": cmd_report,
     "schedule": cmd_schedule,
     "verify": cmd_verify,

@@ -325,12 +325,40 @@ def profile_grid(
     return blocks
 
 
+def _record_timestamp(path: Path) -> "datetime.datetime":
+    """The UTC instant a ``BENCH_<stamp>.json`` name encodes.
+
+    Current records carry a ``Z``-suffixed UTC stamp; legacy records
+    (pre-UTC fix) carry a naive local stamp, which is read *as if* UTC —
+    the best available fallback, and exactly what the old lexical
+    ordering silently assumed.  Unparseable names sort to the epoch so a
+    stray file can never shadow a real record."""
+    import datetime
+
+    stem = path.name[len("BENCH_"):]
+    if stem.endswith(".json"):
+        stem = stem[: -len(".json")]
+    for fmt in ("%Y%m%dT%H%M%SZ", "%Y%m%dT%H%M%S"):
+        try:
+            parsed = datetime.datetime.strptime(stem, fmt)
+        except ValueError:
+            continue
+        return parsed.replace(tzinfo=datetime.timezone.utc)
+    return datetime.datetime.min.replace(tzinfo=datetime.timezone.utc)
+
+
 def latest_bench_record(
     out_dir: Path, exclude: Optional[Path] = None
 ) -> Optional[Path]:
-    """Newest ``BENCH_*.json`` under ``out_dir`` (timestamp-named, so
-    lexical order is chronological), skipping ``exclude`` — normally the
-    record just written, which must not compare against itself."""
+    """Newest ``BENCH_*.json`` under ``out_dir`` by *parsed* timestamp,
+    skipping ``exclude`` — normally the record just written, which must
+    not compare against itself.
+
+    Selection is by :func:`_record_timestamp`, not lexical name order:
+    records written before the UTC fix carry naive local stamps, and a
+    naive stamp from a timezone ahead of UTC sorts lexically *after* a
+    newer UTC one — picking the wrong "previous" record.  Name order
+    only breaks ties."""
     out_dir = Path(out_dir)
     if not out_dir.is_dir():
         return None
@@ -338,7 +366,9 @@ def latest_bench_record(
         p for p in sorted(out_dir.glob("BENCH_*.json"))
         if exclude is None or p.resolve() != Path(exclude).resolve()
     ]
-    return candidates[-1] if candidates else None
+    if not candidates:
+        return None
+    return max(candidates, key=lambda p: (_record_timestamp(p), p.name))
 
 
 def compare_with_previous(
@@ -395,6 +425,33 @@ def compare_with_previous(
     return comparison
 
 
+def _server_block(cfg: ExperimentConfig, cache_root: Path) -> dict:
+    """Serving-throughput measurement for the BENCH record.
+
+    Spins the scheduling server up in-process on an ephemeral port and
+    drives the standard load harness at it (configure → warm → timed
+    burst → metrics diff): a small fixed mix at the record's scale, so
+    the burst measures the serving path (HTTP framing, queueing,
+    coalescing, cache reads) rather than simulation.  The report is the
+    load generator's schema-stable dict, embedded verbatim — every
+    future PR gets requests/sec and tail latency on the same trajectory
+    the wall-clock numbers ride.
+    """
+    import asyncio
+
+    from ..serve.loadgen import run_inprocess_loadtest
+
+    mix = [
+        {"workload": "sar", "policy": "simple", "scheme": False},
+        {"workload": "hf", "policy": "simple", "scheme": False},
+    ]
+    return asyncio.run(
+        run_inprocess_loadtest(
+            cfg, cache_root, clients=8, requests=4, mix=mix
+        )
+    )
+
+
 def run_bench(
     config: Optional[ExperimentConfig] = None,
     figures: Sequence[str] = GRID_FIGURES,
@@ -405,6 +462,7 @@ def run_bench(
     trace_path: Optional[Path] = None,
     repeats: int = 1,
     shootout: bool = True,
+    server: bool = True,
 ) -> dict:
     """Run the grid benchmark; returns the record (not yet written).
 
@@ -418,6 +476,11 @@ def run_bench(
     the number the CI gate bounds.  ``repeats`` repeats both the serial
     pass (minimum kept) and the overhead measurement (median kept); the
     CI gate uses ``repeats >= 3`` to ride out noisy shared runners.
+
+    With ``server`` (the default) the record also gains a ``server``
+    block: an in-process load-test of the scheduling service (see
+    :func:`_server_block`) reporting requests/sec, p50/p99 latency and
+    cache hit rate of the serving path.
     """
     cfg = config or default_config()
     points = all_figure_points(cfg, names=figures)
@@ -425,7 +488,9 @@ def run_bench(
     record: dict = {
         "kind": "repro-bench",
         "schema": SCHEMA_VERSION,
-        "created": time.strftime("%Y-%m-%dT%H:%M:%S"),  # det: record timestamp, not simulated state
+        # UTC with an explicit Z: naive local stamps made the trajectory
+        # ordering timezone/DST-dependent (see latest_bench_record).
+        "created": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),  # det: record timestamp, not simulated state
         "python": sys.version.split()[0],
         "platform": platform.platform(),
         "cpu_count": os.cpu_count(),
@@ -501,6 +566,13 @@ def run_bench(
         warm.run_points(points)
         record["warm_seconds"] = round(time.perf_counter() - start, 4)  # det: wall-clock duration is the benchmark's measurement
         record["warm"] = warm.stats.as_dict()
+
+        if server:
+            # Tenants namespace the cache *root*, so the server phase
+            # gets its own subtree and cannot disturb the grid entries.
+            record["server"] = _server_block(
+                cfg, Path(cache_dir) / "serve"
+            )
     finally:
         if tmp is not None:
             tmp.cleanup()

@@ -61,6 +61,7 @@ class CacheStats:
     stores: int = 0
     invalid: int = 0  # unreadable/corrupt entries treated as misses
     orphans_swept: int = 0  # .tmp-* files left behind by crashed writers
+    quarantined: int = 0  # corrupt entries renamed aside by lookup()
 
     def as_dict(self) -> dict[str, int]:
         return {
@@ -69,6 +70,7 @@ class CacheStats:
             "stores": self.stores,
             "invalid": self.invalid,
             "orphans_swept": self.orphans_swept,
+            "quarantined": self.quarantined,
         }
 
 
@@ -86,21 +88,23 @@ class ResultCache:
 
     # ------------------------------------------------------------------
     def sweep_orphans(self) -> int:
-        """Delete ``.tmp-*`` files abandoned by crashed writers.
+        """Delete ``.tmp-*`` writer leftovers and ``.corrupt-*`` files.
 
         A writer that dies between ``mkstemp`` and ``os.replace`` leaves
-        its tempfile behind; without a sweep they accumulate forever.
-        Racing a *live* writer is harmless: its ``os.replace`` then fails
-        with ``FileNotFoundError`` and :meth:`store` retries with a fresh
-        tempfile.
+        its tempfile behind, and :meth:`lookup` renames unreadable
+        entries to ``.corrupt-*`` names; without a sweep either kind
+        accumulates forever.  Racing a *live* writer is harmless: its
+        ``os.replace`` then fails with ``FileNotFoundError`` and
+        :meth:`store` retries with a fresh tempfile.
         """
         removed = 0
-        for orphan in sorted(self.root.glob("*/.tmp-*")):
-            try:
-                orphan.unlink()
-            except OSError:
-                continue  # a concurrent sweep got there first
-            removed += 1
+        for pattern in ("*/.tmp-*", "*/.corrupt-*"):
+            for orphan in sorted(self.root.glob(pattern)):
+                try:
+                    orphan.unlink()
+                except OSError:
+                    continue  # a concurrent sweep got there first
+                removed += 1
         self.stats.orphans_swept += removed
         return removed
 
@@ -123,13 +127,31 @@ class ResultCache:
             self.stats.misses += 1
             return None
         except (ValueError, KeyError, TypeError, OSError):
-            # Corrupt or foreign-schema entry: treat as a miss; the next
-            # store overwrites it.
+            # Corrupt or foreign-schema entry: treat as a miss, and
+            # quarantine the file so subsequent lookups are plain misses
+            # instead of re-parsing (and re-counting) the same bad bytes.
             self.stats.invalid += 1
             self.stats.misses += 1
+            self._quarantine(path)
             return None
         self.stats.hits += 1
         return result
+
+    def _quarantine(self, path: Path) -> None:
+        """Atomically rename a corrupt entry to a ``.corrupt-*`` dotfile.
+
+        The dotfile is invisible to :meth:`_entries` and swept like a
+        writer orphan, so the next :meth:`store` repopulates the slot
+        cleanly.  The name carries the pid so two processes quarantining
+        the same entry cannot collide; losing the rename race (another
+        process already moved or replaced the file) is fine.
+        """
+        aside = path.with_name(f".corrupt-{os.getpid()}-{path.name}")
+        try:
+            os.replace(path, aside)
+        except OSError:
+            return  # raced: already quarantined, re-stored, or removed
+        self.stats.quarantined += 1
 
     def store(
         self,
@@ -143,9 +165,14 @@ class ResultCache:
         path = self.path_for(point_digest(config, workload, policy, scheme))
         path.parent.mkdir(parents=True, exist_ok=True)
         payload = canonical_dumps(run_result_to_dict(result))
-        # Two attempts: a concurrent cache's orphan sweep may unlink our
-        # live tempfile between mkstemp and os.replace.
-        for attempt in (0, 1):
+        # A concurrent cache's orphan sweep may unlink our live tempfile
+        # between mkstemp and os.replace; each retry opens a fresh
+        # tempfile, so losing the race N consecutive times requires N
+        # independent sweeps landing inside N microsecond windows —
+        # vanishingly unlikely long before the bound (the shared-root
+        # hammer test showed two attempts genuinely are not enough).
+        attempts = 8
+        for attempt in range(attempts):
             fd, tmp = tempfile.mkstemp(
                 dir=path.parent, prefix=".tmp-", suffix=".json"
             )
@@ -154,7 +181,7 @@ class ResultCache:
                     fh.write(payload)
                 os.replace(tmp, path)
             except FileNotFoundError:
-                if attempt:
+                if attempt == attempts - 1:
                     raise
                 continue
             except BaseException:
@@ -170,11 +197,12 @@ class ResultCache:
     # ------------------------------------------------------------------
     def _entries(self):
         # pathlib's glob matches dotfiles, so in-flight/orphaned
-        # ``.tmp-*.json`` writer files must be filtered out explicitly.
+        # ``.tmp-*.json`` writer files and ``.corrupt-*`` quarantines
+        # must be filtered out explicitly.
         return (
             p
             for p in sorted(self.root.glob("*/*.json"))
-            if not p.name.startswith(".tmp-")
+            if not p.name.startswith(".")
         )
 
     def __len__(self) -> int:
@@ -182,10 +210,19 @@ class ResultCache:
 
     def clear(self) -> int:
         """Delete every cached entry (and sweep writer orphans); returns
-        how many *entries* were removed."""
+        how many *entries* were removed.
+
+        Safe against concurrent writers and sweepers on the same root
+        (the shared-cache shape the scheduling server creates): an entry
+        another process unlinked between the listing and our ``unlink``
+        is simply skipped, and only successful unlinks are counted.
+        """
         self.sweep_orphans()
         removed = 0
         for entry in self._entries():
-            entry.unlink()
+            try:
+                entry.unlink()
+            except OSError:
+                continue  # a concurrent clear/sweep removed it first
             removed += 1
         return removed

@@ -1,0 +1,36 @@
+"""Scheduling-as-a-service: serve experiment points over JSON/HTTP.
+
+``repro.serve`` turns the one-shot executor/supervisor stack into a
+long-lived service (:mod:`repro.serve.server`) plus the synthetic load
+harness that benchmarks it (:mod:`repro.serve.loadgen`), both speaking
+the hand-rolled zero-dependency HTTP/1.1 framing in
+:mod:`repro.serve.http`.  CLI entry points: ``repro serve`` and
+``repro loadtest``.
+"""
+
+from .loadgen import LoadgenConfig, default_mix, run_inprocess_loadtest, run_loadgen
+from .server import (
+    DEFAULT_TENANT,
+    Draining,
+    Job,
+    QueueFull,
+    SchedulingServer,
+    ServerConfig,
+    parse_point,
+    parse_tenant,
+)
+
+__all__ = [
+    "DEFAULT_TENANT",
+    "Draining",
+    "Job",
+    "LoadgenConfig",
+    "QueueFull",
+    "SchedulingServer",
+    "ServerConfig",
+    "default_mix",
+    "parse_point",
+    "parse_tenant",
+    "run_inprocess_loadtest",
+    "run_loadgen",
+]

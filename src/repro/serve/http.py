@@ -1,0 +1,318 @@
+"""Minimal HTTP/1.1 framing over asyncio streams.
+
+The scheduling service speaks JSON-over-HTTP with zero dependencies, so
+this module hand-rolls exactly the slice of HTTP/1.1 the server and the
+load generator need: request parsing (request line, headers,
+``Content-Length`` bodies), keep-alive connections, fixed-length JSON
+responses, and ``Transfer-Encoding: chunked`` for the job event stream.
+It is *not* a general HTTP implementation — no continuation lines, no
+trailers, no request chunking — and malformed input maps to a clean
+:class:`HttpError` (→ 400) instead of best-effort recovery.
+
+Shared by both sides: :class:`HttpClient` drives the same framing from
+the client end (one persistent connection per load-generator client),
+so the harness exercises the exact wire format real clients would.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from typing import Any, Optional
+from urllib.parse import parse_qs, urlsplit
+
+__all__ = [
+    "MAX_BODY_BYTES",
+    "HttpError",
+    "HttpRequest",
+    "HttpResponse",
+    "read_request",
+    "write_response",
+    "json_response",
+    "error_response",
+    "HttpClient",
+]
+
+#: Request bodies above this are refused (413) before buffering.
+MAX_BODY_BYTES = 4 * 1024 * 1024
+
+#: Header-section cap: a request line or header longer than this is an
+#: attack or a bug, not a submission.
+_MAX_LINE = 16 * 1024
+
+_REASONS = {
+    200: "OK",
+    202: "Accepted",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    408: "Request Timeout",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class HttpError(Exception):
+    """A request that cannot be parsed or must be refused early."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+@dataclass
+class HttpRequest:
+    """One parsed request: method, split target, headers, raw body."""
+
+    method: str
+    path: str
+    query: dict[str, str]
+    headers: dict[str, str]  # keys lower-cased
+    body: bytes = b""
+
+    @property
+    def keep_alive(self) -> bool:
+        return self.headers.get("connection", "").lower() != "close"
+
+    def json(self) -> Any:
+        """The body decoded as JSON (``{}`` when empty); 400 on garbage."""
+        if not self.body:
+            return {}
+        try:
+            return json.loads(self.body.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError) as exc:
+            raise HttpError(400, f"request body is not valid JSON: {exc}")
+
+
+@dataclass
+class HttpResponse:
+    """One response ready to serialize (body already encoded)."""
+
+    status: int
+    body: bytes = b""
+    content_type: str = "application/json"
+    headers: dict[str, str] = field(default_factory=dict)
+    close: bool = False
+
+
+async def _read_line(reader: asyncio.StreamReader) -> bytes:
+    try:
+        line = await reader.readuntil(b"\r\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return b""  # clean EOF between requests
+        raise HttpError(400, "truncated request") from None
+    except asyncio.LimitOverrunError:
+        raise HttpError(400, "header line too long") from None
+    if len(line) > _MAX_LINE:
+        raise HttpError(400, "header line too long")
+    return line
+
+
+async def read_request(
+    reader: asyncio.StreamReader,
+) -> Optional[HttpRequest]:
+    """Parse one request off ``reader``; ``None`` on clean EOF.
+
+    Raises :class:`HttpError` on malformed framing (the handler answers
+    it and closes) — never returns a half-parsed request.
+    """
+    request_line = await _read_line(reader)
+    if not request_line:
+        return None
+    parts = request_line.decode("latin-1").rstrip("\r\n").split(" ")
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+        raise HttpError(400, "malformed request line")
+    method, target, _version = parts
+    split = urlsplit(target)
+    query = {
+        key: values[-1]
+        for key, values in parse_qs(
+            split.query, keep_blank_values=True
+        ).items()
+    }
+
+    headers: dict[str, str] = {}
+    while True:
+        line = await _read_line(reader)
+        if not line:
+            raise HttpError(400, "truncated headers")
+        if line == b"\r\n":
+            break
+        name, sep, value = line.decode("latin-1").partition(":")
+        if not sep:
+            raise HttpError(400, f"malformed header {name.strip()!r}")
+        headers[name.strip().lower()] = value.strip()
+
+    body = b""
+    if "transfer-encoding" in headers:
+        raise HttpError(400, "chunked request bodies are not supported")
+    length_text = headers.get("content-length", "0")
+    try:
+        length = int(length_text)
+    except ValueError:
+        raise HttpError(400, f"bad Content-Length {length_text!r}")
+    if length < 0:
+        raise HttpError(400, f"bad Content-Length {length}")
+    if length > MAX_BODY_BYTES:
+        raise HttpError(413, f"body of {length} bytes exceeds the cap")
+    if length:
+        try:
+            body = await reader.readexactly(length)
+        except asyncio.IncompleteReadError:
+            raise HttpError(400, "truncated body") from None
+    return HttpRequest(
+        method=method.upper(),
+        path=split.path or "/",
+        query=query,
+        headers=headers,
+        body=body,
+    )
+
+
+def _head(response: HttpResponse, chunked: bool = False) -> bytes:
+    reason = _REASONS.get(response.status, "Unknown")
+    lines = [f"HTTP/1.1 {response.status} {reason}"]
+    lines.append(f"Content-Type: {response.content_type}")
+    if chunked:
+        lines.append("Transfer-Encoding: chunked")
+    else:
+        lines.append(f"Content-Length: {len(response.body)}")
+    for name, value in response.headers.items():
+        lines.append(f"{name}: {value}")
+    lines.append(
+        "Connection: close" if response.close else "Connection: keep-alive"
+    )
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+
+
+async def write_response(
+    writer: asyncio.StreamWriter, response: HttpResponse
+) -> None:
+    writer.write(_head(response) + response.body)
+    await writer.drain()
+
+
+def json_response(
+    status: int, doc: Any, headers: Optional[dict[str, str]] = None
+) -> HttpResponse:
+    body = (json.dumps(doc, sort_keys=True) + "\n").encode("utf-8")
+    return HttpResponse(status=status, body=body, headers=dict(headers or {}))
+
+
+def error_response(
+    status: int, message: str, headers: Optional[dict[str, str]] = None
+) -> HttpResponse:
+    return json_response(status, {"error": message}, headers=headers)
+
+
+def encode_chunk(payload: bytes) -> bytes:
+    """One ``Transfer-Encoding: chunked`` frame (empty = terminator)."""
+    return f"{len(payload):x}\r\n".encode("latin-1") + payload + b"\r\n"
+
+
+# ----------------------------------------------------------------------
+# Client side
+# ----------------------------------------------------------------------
+class HttpClient:
+    """One persistent keep-alive connection to the scheduling server.
+
+    Deliberately tiny: JSON in, JSON out, no redirects, no TLS, no
+    pipelining (one request in flight per connection — the load
+    generator gets concurrency from many clients, not deep pipelines).
+    """
+
+    def __init__(self, host: str, port: int):
+        self.host = host
+        self.port = port
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+
+    async def _connect(self) -> None:
+        self._reader, self._writer = await asyncio.open_connection(
+            self.host, self.port
+        )
+
+    async def close(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except OSError:
+                pass
+            self._reader = self._writer = None
+
+    async def request(
+        self,
+        method: str,
+        target: str,
+        doc: Any = None,
+        headers: Optional[dict[str, str]] = None,
+    ) -> tuple[int, dict[str, str], Any]:
+        """One round trip; returns ``(status, headers, parsed body)``.
+
+        Reconnects once if the pooled connection died between requests
+        (the server may close idle connections while draining).
+        """
+        for attempt in (0, 1):
+            if self._writer is None:
+                await self._connect()
+            try:
+                return await self._round_trip(method, target, doc, headers)
+            except (ConnectionError, asyncio.IncompleteReadError, OSError):
+                await self.close()
+                if attempt:
+                    raise
+        raise AssertionError("unreachable")
+
+    async def _round_trip(
+        self,
+        method: str,
+        target: str,
+        doc: Any,
+        headers: Optional[dict[str, str]],
+    ) -> tuple[int, dict[str, str], Any]:
+        assert self._reader is not None and self._writer is not None
+        body = b""
+        if doc is not None:
+            body = json.dumps(doc, sort_keys=True).encode("utf-8")
+        lines = [
+            f"{method} {target} HTTP/1.1",
+            f"Host: {self.host}:{self.port}",
+            f"Content-Length: {len(body)}",
+            "Content-Type: application/json",
+        ]
+        for name, value in (headers or {}).items():
+            lines.append(f"{name}: {value}")
+        self._writer.write(
+            ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1") + body
+        )
+        await self._writer.drain()
+
+        status_line = await self._reader.readuntil(b"\r\n")
+        pieces = status_line.decode("latin-1").split(" ", 2)
+        if len(pieces) < 2 or not pieces[0].startswith("HTTP/1."):
+            raise ConnectionError(f"malformed status line {status_line!r}")
+        status = int(pieces[1])
+        response_headers: dict[str, str] = {}
+        while True:
+            line = await self._reader.readuntil(b"\r\n")
+            if line == b"\r\n":
+                break
+            name, _sep, value = line.decode("latin-1").partition(":")
+            response_headers[name.strip().lower()] = value.strip()
+        length = int(response_headers.get("content-length", "0"))
+        payload = await self._reader.readexactly(length) if length else b""
+        if response_headers.get("connection", "").lower() == "close":
+            await self.close()
+        parsed: Any = None
+        if payload:
+            try:
+                parsed = json.loads(payload.decode("utf-8"))
+            except (UnicodeDecodeError, ValueError):
+                parsed = payload  # surface raw bytes; caller decides
+        return status, response_headers, parsed

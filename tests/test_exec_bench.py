@@ -6,11 +6,16 @@ plumbing: picking the latest prior record, the warn-and-seed behavior on
 an empty trajectory, delta reporting, and the cProfile table shape.
 """
 
+import datetime
 import io
 import json
 
 from repro.exec import RunPoint, compare_with_previous, profile_grid
-from repro.exec.bench import latest_bench_record, write_bench_record
+from repro.exec.bench import (
+    _record_timestamp,
+    latest_bench_record,
+    write_bench_record,
+)
 from repro.experiments import ExperimentConfig
 
 SMALL = ExperimentConfig(n_clients=8, n_ionodes=4, workload_scale=0.05)
@@ -52,6 +57,48 @@ class TestLatestBenchRecord:
         only = tmp_path / "BENCH_20260101T000000.json"
         only.write_text("{}")
         assert latest_bench_record(tmp_path, exclude=only) is None
+
+
+class TestRecordTimestamp:
+    UTC = datetime.timezone.utc
+
+    def test_parses_utc_z_stamp(self, tmp_path):
+        path = tmp_path / "BENCH_20260808T120102Z.json"
+        assert _record_timestamp(path) == datetime.datetime(
+            2026, 8, 8, 12, 1, 2, tzinfo=self.UTC
+        )
+
+    def test_legacy_naive_stamp_read_as_utc(self, tmp_path):
+        path = tmp_path / "BENCH_20260101T000000.json"
+        assert _record_timestamp(path) == datetime.datetime(
+            2026, 1, 1, tzinfo=self.UTC
+        )
+
+    def test_unparseable_name_sorts_to_the_epoch(self, tmp_path):
+        garbage = _record_timestamp(tmp_path / "BENCH_notastamp.json")
+        real = _record_timestamp(tmp_path / "BENCH_19700101T000001.json")
+        assert garbage < real
+
+    def test_mixed_legacy_and_utc_ordered_by_instant(self, tmp_path):
+        """The bugfix scenario: a naive local stamp from a timezone ahead
+        of UTC sorts lexically *after* a newer Z stamp ('...Z' suffix),
+        but the parsed instants order them correctly either way round."""
+        legacy_old = tmp_path / "BENCH_20260301T000000.json"
+        utc_new = tmp_path / "BENCH_20260401T000000Z.json"
+        for p in (legacy_old, utc_new):
+            p.write_text("{}")
+        assert latest_bench_record(tmp_path) == utc_new
+
+        legacy_new = tmp_path / "BENCH_20260501T000000.json"
+        legacy_new.write_text("{}")
+        assert latest_bench_record(tmp_path) == legacy_new
+
+    def test_stray_file_never_shadows_a_real_record(self, tmp_path):
+        real = tmp_path / "BENCH_20260101T000000Z.json"
+        stray = tmp_path / "BENCH_zzzzlexicallylast.json"
+        for p in (real, stray):
+            p.write_text("{}")
+        assert latest_bench_record(tmp_path) == real
 
 
 class TestCompareWithPrevious:
@@ -105,6 +152,16 @@ class TestWriteBenchRecord:
         )
         assert path.name.startswith("BENCH_")
         assert json.loads(path.read_text())["kind"] == "repro-bench"
+
+    def test_utc_created_stamp_names_a_z_file(self, tmp_path):
+        """Current records carry Z-suffixed UTC stamps end to end."""
+        path = write_bench_record(
+            fake_record(created="2026-08-08T01:02:03Z"), tmp_path
+        )
+        assert path.name == "BENCH_20260808T010203Z.json"
+        assert _record_timestamp(path) == datetime.datetime(
+            2026, 8, 8, 1, 2, 3, tzinfo=datetime.timezone.utc
+        )
 
 
 class TestProfileGrid:

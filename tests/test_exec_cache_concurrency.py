@@ -1,0 +1,299 @@
+"""Shared-cache concurrency tests (the scheduling-server shape).
+
+The server hands every batch worker a *fresh* :class:`ResultCache` on
+the same on-disk root, and separate server processes may share that root
+too.  These tests hammer one digest from many threads and many processes
+with interleaved ``store`` / ``lookup`` / ``clear`` / ``sweep_orphans``
+calls and assert the concurrency contract:
+
+* no call raises;
+* no torn reads — every successful ``lookup`` round-trips through
+  ``run_result_from_dict`` into a result equal to the stored one
+  (atomic tempfile + ``os.replace`` makes partial visibility
+  impossible);
+* per-instance stats identities hold: ``hits + misses`` equals the
+  number of lookups that instance performed.
+
+Plus unit coverage for the corrupt-entry quarantine path that makes the
+shared-root story safe against torn *writers from other schemas*.
+"""
+
+import json
+import threading
+from concurrent.futures import ProcessPoolExecutor
+
+import pytest
+
+from repro.exec import (
+    ResultCache,
+    point_digest,
+    run_result_to_dict,
+)
+from repro.experiments import ExperimentConfig, Runner
+
+TINY = ExperimentConfig(workload_scale=0.05)
+
+#: The single point every worker fights over.
+POINT = ("sar", "simple", False)
+
+
+@pytest.fixture(scope="module")
+def result():
+    return Runner(TINY).run(*POINT)
+
+
+# ----------------------------------------------------------------------
+# Threaded: many cache instances, one root, one digest
+# ----------------------------------------------------------------------
+class TestThreadedSharedRoot:
+    def test_store_lookup_clear_hammer(self, tmp_path, result):
+        root = tmp_path / "shared"
+        threads = 8
+        rounds = 30
+        outcomes = [None] * threads
+        start = threading.Barrier(threads)
+
+        def hammer(worker_id):
+            cache = ResultCache(root)
+            lookups = torn = 0
+            errors = []
+            start.wait()
+            for i in range(rounds):
+                op = (worker_id + i) % 4
+                try:
+                    if op in (0, 1):
+                        cache.store(TINY, *POINT, result)
+                    elif op == 2:
+                        lookups += 1
+                        got = cache.lookup(TINY, *POINT)
+                        if got is not None and got != result:
+                            torn += 1
+                    else:
+                        cache.clear()
+                except Exception as exc:  # noqa: BLE001 — contract: no raise
+                    errors.append(f"op{op}: {type(exc).__name__}: {exc}")
+            outcomes[worker_id] = {
+                "errors": errors,
+                "torn": torn,
+                "lookups": lookups,
+                "stats": cache.stats,
+            }
+
+        workers = [
+            threading.Thread(target=hammer, args=(i,)) for i in range(threads)
+        ]
+        for t in workers:
+            t.start()
+        for t in workers:
+            t.join(timeout=120)
+            assert not t.is_alive(), "hammer thread wedged"
+
+        for outcome in outcomes:
+            assert outcome is not None
+            assert outcome["errors"] == []
+            assert outcome["torn"] == 0
+            stats = outcome["stats"]
+            # Identity: every lookup was either a hit or a miss; corrupt
+            # entries never happen here (all writers write identical
+            # bytes atomically).
+            assert stats.hits + stats.misses == outcome["lookups"]
+            assert stats.invalid == 0
+            assert stats.quarantined == 0
+
+        # The root is still coherent: one final instance can read or
+        # repopulate the slot cleanly.
+        cache = ResultCache(root)
+        if cache.lookup(TINY, *POINT) is None:
+            cache.store(TINY, *POINT, result)
+        assert cache.lookup(TINY, *POINT) == result
+
+    def test_concurrent_clears_count_each_entry_once(self, tmp_path, result):
+        """N racing clears: every unlink is counted by exactly one."""
+        root = tmp_path / "shared"
+        seed = ResultCache(root)
+        for scheme in (False, True):
+            seed.store(TINY, "sar", "simple", scheme, result)
+            seed.store(TINY, "hf", "simple", scheme, result)
+        entries = len(seed)
+        assert entries == 4
+
+        threads = 6
+        removed = [0] * threads
+        start = threading.Barrier(threads)
+
+        def clear(worker_id):
+            cache = ResultCache(root)
+            start.wait()
+            removed[worker_id] = cache.clear()
+
+        workers = [
+            threading.Thread(target=clear, args=(i,)) for i in range(threads)
+        ]
+        for t in workers:
+            t.start()
+        for t in workers:
+            t.join(timeout=60)
+        assert sum(removed) == entries
+        assert len(ResultCache(root)) == 0
+
+
+# ----------------------------------------------------------------------
+# Multi-process: separate interpreters, one root
+# ----------------------------------------------------------------------
+def _process_hammer(root_str: str, worker_id: int) -> dict:
+    """Runs in a child process: simulate the point (deterministic, so
+    every process stores identical bytes), then hammer the shared root."""
+    cfg = ExperimentConfig(workload_scale=0.05)
+    expected = Runner(cfg).run(*POINT)
+    cache = ResultCache(root_str)
+    lookups = torn = 0
+    errors = []
+    for i in range(20):
+        op = (worker_id + i) % 4
+        try:
+            if op in (0, 1):
+                cache.store(cfg, *POINT, expected)
+            elif op == 2:
+                lookups += 1
+                got = cache.lookup(cfg, *POINT)
+                if got is not None and got != expected:
+                    torn += 1
+            else:
+                cache.clear()
+        except Exception as exc:  # noqa: BLE001 — contract: no raise
+            errors.append(f"op{op}: {type(exc).__name__}: {exc}")
+    stats = cache.stats
+    return {
+        "errors": errors,
+        "torn": torn,
+        "lookups": lookups,
+        "hits": stats.hits,
+        "misses": stats.misses,
+        "invalid": stats.invalid,
+        "quarantined": stats.quarantined,
+    }
+
+
+class TestMultiProcessSharedRoot:
+    def test_store_lookup_clear_across_processes(self, tmp_path):
+        root = str(tmp_path / "shared")
+        with ProcessPoolExecutor(max_workers=4) as pool:
+            outcomes = list(
+                pool.map(_process_hammer, [root] * 4, range(4))
+            )
+        for outcome in outcomes:
+            assert outcome["errors"] == []
+            assert outcome["torn"] == 0
+            assert outcome["hits"] + outcome["misses"] == outcome["lookups"]
+            assert outcome["invalid"] == 0
+            assert outcome["quarantined"] == 0
+
+
+# ----------------------------------------------------------------------
+# Corrupt-entry quarantine
+# ----------------------------------------------------------------------
+def _poison(cache: ResultCache, text: str = "{ not json") -> None:
+    path = cache.path_for(point_digest(TINY, *POINT))
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(text, encoding="utf-8")
+
+
+class TestQuarantine:
+    def test_corrupt_entry_is_renamed_aside(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        _poison(cache)
+        path = cache.path_for(point_digest(TINY, *POINT))
+
+        assert cache.lookup(TINY, *POINT) is None
+        assert cache.stats.invalid == 1
+        assert cache.stats.misses == 1
+        assert cache.stats.quarantined == 1
+        assert not path.exists()
+        quarantined = list(tmp_path.glob("*/.corrupt-*"))
+        assert len(quarantined) == 1
+        assert quarantined[0].name.endswith(path.name)
+
+    def test_second_lookup_is_a_plain_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        _poison(cache)
+        cache.lookup(TINY, *POINT)
+        assert cache.lookup(TINY, *POINT) is None
+        # No re-parse of the same bad bytes: invalid stays at 1.
+        assert cache.stats.invalid == 1
+        assert cache.stats.misses == 2
+
+    def test_store_repopulates_after_quarantine(self, tmp_path, result):
+        cache = ResultCache(tmp_path)
+        _poison(cache)
+        cache.lookup(TINY, *POINT)
+        cache.store(TINY, *POINT, result)
+        assert cache.lookup(TINY, *POINT) == result
+
+    def test_foreign_schema_entry_quarantined_too(self, tmp_path, result):
+        doc = run_result_to_dict(result)
+        doc["schema"] = 999_999
+        cache = ResultCache(tmp_path)
+        _poison(cache, json.dumps(doc))
+        assert cache.lookup(TINY, *POINT) is None
+        assert cache.stats.quarantined == 1
+
+    def test_sweep_removes_quarantined_files(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        _poison(cache)
+        cache.lookup(TINY, *POINT)
+        assert list(tmp_path.glob("*/.corrupt-*"))
+        assert cache.sweep_orphans() == 1
+        assert not list(tmp_path.glob("*/.corrupt-*"))
+
+    def test_fresh_instance_sweeps_quarantine_of_a_dead_one(self, tmp_path):
+        first = ResultCache(tmp_path)
+        _poison(first)
+        first.lookup(TINY, *POINT)
+        second = ResultCache(tmp_path)  # __post_init__ sweeps
+        assert second.stats.orphans_swept == 1
+        assert not list(tmp_path.glob("*/.corrupt-*"))
+
+    def test_lost_rename_race_is_silent(self, tmp_path, monkeypatch):
+        """Another process already moved the corrupt file: no raise, no
+        quarantined count — just the invalid-miss."""
+        cache = ResultCache(tmp_path)
+        _poison(cache)
+
+        def losing_replace(src, dst):
+            raise OSError("raced")
+
+        monkeypatch.setattr("repro.exec.cache.os.replace", losing_replace)
+        assert cache.lookup(TINY, *POINT) is None
+        assert cache.stats.invalid == 1
+        assert cache.stats.quarantined == 0
+
+    def test_quarantined_files_invisible_to_len(self, tmp_path, result):
+        cache = ResultCache(tmp_path)
+        cache.store(TINY, *POINT, result)
+        sub = cache.path_for(point_digest(TINY, *POINT)).parent
+        (sub / ".corrupt-1234-x.json").write_text("junk", encoding="utf-8")
+        (sub / ".tmp-5678.json").write_text("junk", encoding="utf-8")
+        assert len(cache) == 1
+
+
+class TestClearRaces:
+    def test_clear_tolerates_vanished_entry(self, tmp_path, monkeypatch):
+        """Deterministic stand-in for the listing/unlink race: an entry
+        another process removed between ``_entries`` and ``unlink``."""
+        cache = ResultCache(tmp_path)
+        ghost = tmp_path / "zz" / "gone.json"
+        monkeypatch.setattr(cache, "_entries", lambda: iter([ghost]))
+        assert cache.clear() == 0
+
+    def test_clear_counts_only_successful_unlinks(
+        self, tmp_path, result, monkeypatch
+    ):
+        cache = ResultCache(tmp_path)
+        cache.store(TINY, *POINT, result)
+        real = cache.path_for(point_digest(TINY, *POINT))
+        ghost = tmp_path / "zz" / "gone.json"
+        monkeypatch.setattr(
+            cache, "_entries", lambda: iter([ghost, real])
+        )
+        assert cache.clear() == 1
+        assert not real.exists()

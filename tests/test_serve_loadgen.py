@@ -1,0 +1,106 @@
+"""Tests for the load harness (``repro.serve.loadgen``)."""
+
+import asyncio
+
+import pytest
+
+from repro.experiments import ExperimentConfig
+from repro.serve import LoadgenConfig, default_mix, run_inprocess_loadtest
+from repro.serve.loadgen import _percentile
+
+TINY = ExperimentConfig(workload_scale=0.05)
+
+MIX_ONE = [{"workload": "sar", "policy": "simple", "scheme": False}]
+
+
+class TestPercentile:
+    def test_empty_sample(self):
+        assert _percentile([], 0.99) == 0.0
+
+    def test_single_sample(self):
+        assert _percentile([7.0], 0.50) == 7.0
+        assert _percentile([7.0], 0.99) == 7.0
+
+    def test_nearest_rank(self):
+        values = [float(v) for v in range(1, 101)]  # 1..100
+        assert _percentile(values, 0.50) == 50.0
+        assert _percentile(values, 0.99) == 99.0
+        assert _percentile(values, 1.0) == 100.0
+
+
+class TestDefaultMix:
+    def test_every_app_scheme_combination(self):
+        mix = default_mix(apps=("sar",), schemes=(False, True))
+        assert mix == [
+            {"workload": "sar", "policy": "simple", "scheme": False},
+            {"workload": "sar", "policy": "simple", "scheme": True},
+        ]
+
+
+class TestLoadgenConfigValidation:
+    @pytest.mark.parametrize(
+        "overrides",
+        [{"clients": 0}, {"requests": 0}, {"mix": ()}],
+    )
+    def test_bad_knobs_rejected(self, overrides):
+        with pytest.raises(ValueError):
+            LoadgenConfig(**overrides)
+
+
+class TestInprocessLoadtest:
+    def test_small_warm_burst_is_clean(self, tmp_path):
+        report = asyncio.run(
+            run_inprocess_loadtest(
+                TINY,
+                tmp_path / "cache",
+                clients=4,
+                requests=2,
+                mix=MIX_ONE,
+            )
+        )
+        assert report["requests"] == 8
+        assert report["ok"] == 8
+        assert report["failed"] == 0
+        assert report["errors"] == []
+        assert report["warmed"] == len(MIX_ONE)
+        # The warm pass did the only simulation; the timed burst is all
+        # cache hits (and/or coalesced onto in-flight duplicates).
+        assert report["simulated"] == 0
+        assert report["cache_hits"] + report["batched"] == 8
+        assert report["cache_hit_rate"] == 1.0
+        assert report["rps"] > 0
+        assert report["seconds"] > 0
+
+    def test_report_schema_is_stable(self, tmp_path):
+        report = asyncio.run(
+            run_inprocess_loadtest(
+                TINY, tmp_path / "cache", clients=1, requests=1, mix=MIX_ONE
+            )
+        )
+        expected = {
+            "clients", "requests_per_client", "requests", "ok", "failed",
+            "rejected_retries", "warmed", "seconds", "rps", "latency_ms",
+            "cache_hit_rate", "batched", "simulated", "cache_hits",
+            "queue_depth_peak", "errors",
+        }
+        assert set(report) == expected
+        assert set(report["latency_ms"]) == {"p50", "p99", "mean", "max"}
+        assert report["latency_ms"]["p99"] >= report["latency_ms"]["p50"]
+
+    def test_cold_burst_simulates_at_least_once(self, tmp_path):
+        report = asyncio.run(
+            run_inprocess_loadtest(
+                TINY,
+                tmp_path / "cache",
+                clients=2,
+                requests=1,
+                mix=MIX_ONE,
+                warm=False,
+            )
+        )
+        assert report["warmed"] == 0
+        assert report["ok"] == 2
+        assert report["failed"] == 0
+        # Two identical concurrent submissions, cold cache: exactly one
+        # simulation — the second rides the first (coalesce or hit).
+        assert report["simulated"] == 1
