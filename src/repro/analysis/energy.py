@@ -67,12 +67,16 @@ from ..disk.specs import DiskSpec
 from ..ir.dependence import AffineDependenceAnalyzer, certainly_cold_blocks
 from ..ir.profiling import AccessTrace
 from ..power import (
+    CreditMultiSpeed,
+    ForecastSpindown,
     HistoryBasedMultiSpeed,
+    HybridCompilerAssist,
     NoPowerManagement,
     PredictionSpinDown,
     SimpleSpinDown,
     StaggeredMultiSpeed,
 )
+from ..power.hints import nominal_node_touch_times
 from ..runtime.mpi_io import REQUEST_MESSAGE_BYTES
 from ..runtime.scheduler_thread import issue_window, will_prefetch
 from ..storage.raid import RaidMap
@@ -123,6 +127,12 @@ POLICY_CLASSES = {
     "prediction": PredictionSpinDown,
     "history": HistoryBasedMultiSpeed,
     "staggered": StaggeredMultiSpeed,
+    # Online family (repro.power.online): adaptivity changes *when* the
+    # capabilities fire, not *which* power states are reachable, so the
+    # same capability-derived bounds stay sound without new physics.
+    "forecast": ForecastSpindown,
+    "credit": CreditMultiSpeed,
+    "hybrid": HybridCompilerAssist,
 }
 
 #: The CI soundness corpus sweeps these policies (one per capability
@@ -312,26 +322,6 @@ def _io_extent(
     if size <= 0:
         return None
     return offset, size
-
-
-def _slot_clock(trace: AccessTrace) -> list[list[float]]:
-    """Per-process nominal slot start times (pure compute clock)."""
-    clocks: list[list[float]] = []
-    for proc in trace.processes:
-        starts = [0.0]
-        for cost in proc.slot_costs:
-            starts.append(starts[-1] + cost)
-        clocks.append(starts)
-    return clocks
-
-
-def _slot_time(clocks: list[list[float]], process: int, slot: int) -> float:
-    starts = clocks[process]
-    return starts[min(max(slot, 0), len(starts) - 1)]
-
-
-def _signature_nodes(signature: int) -> list[int]:
-    return [bit for bit in range(signature.bit_length()) if signature >> bit & 1]
 
 
 # ----------------------------------------------------------------------
@@ -590,31 +580,17 @@ def analyze_energy(
         envelope = widen_envelope(envelope, factor, code)
 
     # ------------------------------------------------------------------
-    # Nominal per-node access clock → residency envelopes + idle gaps
+    # Nominal per-node access clock → residency envelopes + idle gaps.
+    # Shared derivation with HybridCompilerAssist's hints: what the
+    # analyzer bounds statically is exactly what the hybrid policy is
+    # handed at runtime (repro.power.hints).
     # ------------------------------------------------------------------
-    clocks = _slot_clock(trace)
-    node_times: dict[int, list[float]] = {
-        n: [] for n in range(config.n_ionodes)
-    }
-    if scheme:
-        assert book is not None
-        for access in book.all_accesses():
-            t = _slot_time(clocks, access.process, access.scheduled_slot or 0)
-            for node in _signature_nodes(access.signature):
-                if node < config.n_ionodes:
-                    node_times[node].append(t)
-        io_source = trace.writes()
-    else:
-        io_source = trace.all_ios()
-    for io in io_source:
-        striped = files[io.file]
-        decl = program.files[io.file]
-        extent = _io_extent(striped, decl.block_bytes, io.block, io.blocks)
-        if extent is None:
-            continue
-        t = _slot_time(clocks, io.process, io.slot)
-        for node in smap.nodes_of_extent(striped, *extent):
-            node_times[node].append(t)
+    node_times = nominal_node_touch_times(
+        trace,
+        config.n_ionodes,
+        config.stripe_size,
+        book=book if scheme else None,
+    )
 
     cold_per_node: dict[int, int] = {}
     for node, _cb in cold_cache:
@@ -633,7 +609,7 @@ def analyze_energy(
 
     residencies: list[DiskResidency] = []
     for node in range(config.n_ionodes):
-        times = sorted(node_times[node])
+        times = node_times[node]
         gaps = [b - a for a, b in zip(times, times[1:])]
         per_drive_hi = config.disks_per_node * time_hi
         serve_lo = (

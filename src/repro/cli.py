@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Twelve subcommands:
+Thirteen subcommands:
 
 * ``list`` — the registered workloads and policies;
 * ``run`` — simulate one (workload, policy, scheme) combination and print
@@ -34,6 +34,13 @@ Twelve subcommands:
   occupancy/idle-gap diagnostics per configuration, all without
   simulating; ``--check`` additionally runs the DES and fails if any
   measured energy escapes its envelope (the CI soundness gate);
+* ``tournament`` — run the online energy-policy tournament: the static
+  compiler entrants vs the adaptive policies of ``repro.power.online``
+  across every workload × {clean, straggler, degraded-RAID5} scenario,
+  writing a deterministic ``TOURNAMENT_*.json`` leaderboard (energy,
+  slowdown, strict-energy win matrix) with the static analyzer's
+  envelope containment checked per cell; exits non-zero if any measured
+  energy escapes its certified envelope;
 * ``serve`` — run the persistent scheduling service: JSON-over-HTTP
   submission of experiment points and grids into a bounded work queue
   backed by the supervisor/executor/cache stack, with per-tenant cache
@@ -83,6 +90,8 @@ Examples::
         --retries 2 --timeout 300 --journal fig12c.journal
     python -m repro resume fig12c.journal
     python -m repro bench --quick --jobs 4
+    python -m repro tournament --scale 0.05 --jobs 4
+    python -m repro tournament --workloads sar,hf --entrants hybrid,forecast
     python -m repro bench --quick --trace trace.jsonl --max-trace-overhead 0.05
     python -m repro bench --quick --kernel calendar --profile 8
     python -m repro schedule --app hf --scale 0.1 --timeline
@@ -105,6 +114,7 @@ from typing import Optional, Sequence
 
 from .experiments import (
     APPS,
+    ONLINE_POLICIES,
     POLICIES,
     Runner,
     default_config,
@@ -239,10 +249,14 @@ def build_parser() -> argparse.ArgumentParser:
     run_p = sub.add_parser("run", help="simulate one configuration")
     run_p.add_argument("--app", required=True, choices=WORKLOAD_CHOICES)
     run_p.add_argument(
-        "--policy", default="default", choices=("default",) + POLICIES
+        "--policy", default="default",
+        choices=("default",) + POLICIES + ONLINE_POLICIES,
     )
     run_p.add_argument("--scheme", action="store_true",
                        help="enable the compiler-directed scheduling")
+    run_p.add_argument("--reorder", action="store_true",
+                       help="straggler-aware reordering of each scheduler "
+                       "issue window (needs --scheme to have any effect)")
     run_p.add_argument("--scale", type=float, default=None,
                        help="workload scale (default: REPRO_SCALE or 0.25)")
     run_p.add_argument("--kernel", default=None, choices=kernel_names(),
@@ -322,6 +336,35 @@ def build_parser() -> argparse.ArgumentParser:
     bench_p.add_argument("--no-server", action="store_true",
                          help="skip the serving-throughput block (an "
                          "in-process load-test of the scheduling service)")
+    bench_p.add_argument("--no-tournament", action="store_true",
+                         help="skip the reduced policy-tournament block")
+
+    tour_p = sub.add_parser(
+        "tournament",
+        help="race static vs online power policies across fault scenarios",
+    )
+    tour_p.add_argument("--scale", type=float, default=None,
+                        help="workload scale (default: REPRO_SCALE or 0.25)")
+    tour_p.add_argument("--kernel", default=None, choices=kernel_names(),
+                        help="simulation kernel for every cell "
+                        f"(default: {DEFAULT_KERNEL})")
+    tour_p.add_argument("--workloads", default=None, metavar="A,B,...",
+                        help="comma-separated workloads "
+                        "(default: every registered workload)")
+    tour_p.add_argument("--entrants", default=None, metavar="E,F,...",
+                        help="comma-separated entrant names "
+                        "(default: the full field; see repro list)")
+    tour_p.add_argument("--scenarios", default=None, metavar="S,T,...",
+                        help="comma-separated scenarios out of "
+                        "clean,straggler,degraded (default: all three)")
+    tour_p.add_argument("--output-dir", default=".", metavar="DIR",
+                        help="where to write TOURNAMENT_<stamp>.json")
+    tour_p.add_argument("--no-record", action="store_true",
+                        help="print the leaderboard without writing a "
+                        "TOURNAMENT_*.json record")
+    tour_p.add_argument("--json", action="store_true",
+                        help="emit the full tournament document as JSON")
+    _add_exec_flags(tour_p)
 
     serve_p = sub.add_parser(
         "serve", help="run the persistent scheduling service (JSON/HTTP)"
@@ -444,7 +487,8 @@ def build_parser() -> argparse.ArgumentParser:
     analyze_p.add_argument("--app", default=None, choices=WORKLOAD_CHOICES,
                            help="workload to analyze (default: all)")
     analyze_p.add_argument(
-        "--policy", default=None, choices=("default",) + POLICIES,
+        "--policy", default=None,
+        choices=("default",) + POLICIES + ONLINE_POLICIES,
         help="power policy to analyze (default: the soundness-corpus "
         "sweep default/simple/history)")
     analyze_p.add_argument(
@@ -484,6 +528,8 @@ def _config(args) -> "ExperimentConfig":
             overrides[field] = value
     if getattr(args, "kernel", None):
         overrides["kernel"] = args.kernel
+    if getattr(args, "reorder", False):
+        overrides["reorder"] = True
     if getattr(args, "faults", None):
         from .faults import load_plan
 
@@ -540,10 +586,25 @@ def _campaign_argv(args, command: str) -> list[str]:
     argv: list[str] = [command]
     if command == "figure":
         argv.append(args.name)
+    elif command == "tournament":
+        for flag, attr in (
+            ("--workloads", "workloads"), ("--entrants", "entrants"),
+            ("--scenarios", "scenarios"),
+        ):
+            value = getattr(args, attr, None)
+            if value is not None:
+                argv += [flag, value]
+        argv += ["--output-dir", os.path.abspath(args.output_dir)]
+        if args.no_record:
+            argv.append("--no-record")
+        if args.json:
+            argv.append("--json")
     else:
         argv += ["--app", args.app, "--policy", args.policy]
         if args.scheme:
             argv.append("--scheme")
+        if getattr(args, "reorder", False):
+            argv.append("--reorder")
         for flag, attr in (
             ("--clients", "clients"), ("--ionodes", "ionodes"),
             ("--delta", "delta"), ("--theta", "theta"),
@@ -639,7 +700,12 @@ def cmd_list(_args, out) -> int:
     print(format_table(("workload", "slack path", "description"), rows),
           file=out)
     print(file=out)
-    print("policies: default " + " ".join(POLICIES), file=out)
+    print("policies: default " + " ".join(POLICIES + ONLINE_POLICIES),
+          file=out)
+    from .experiments import DEFAULT_ENTRANTS
+
+    print("tournament entrants: " + " ".join(
+        e.name for e in DEFAULT_ENTRANTS), file=out)
     return 0
 
 
@@ -825,6 +891,7 @@ def cmd_bench(args, out) -> int:
         repeats=args.repeats,
         shootout=not args.no_shootout,
         server=not args.no_server,
+        tournament=not args.no_tournament,
     )
     path = write_bench_record(record, args.output_dir)
     rows = [(k, v) for k, v in record.items()
@@ -851,6 +918,23 @@ def cmd_bench(args, out) -> int:
         print(file=out)
         print(_loadtest_table(server_block, title="serving throughput"),
               file=out)
+    tournament_block = record.get("tournament")
+    if tournament_block:
+        trows = [
+            (row["entrant"],
+             f"{row['mean_normalized_energy']:.3f}",
+             f"{row['mean_slowdown']:.3f}",
+             "yes" if row["contained"] else "NO")
+            for row in tournament_block["leaderboard"]
+        ]
+        print(file=out)
+        print(format_table(
+            ("entrant", "mean norm. energy", "mean slowdown", "in envelope"),
+            trows,
+            title="policy tournament (reduced grid: "
+            + ",".join(tournament_block["workloads"]) + " x "
+            + ",".join(tournament_block["scenarios"]) + ")",
+        ), file=out)
     print(f"record written to {path}", file=out)
     compare_with_previous(record, args.output_dir, exclude=path, out=out)
     if args.profile is not None:
@@ -899,6 +983,122 @@ def _loadtest_table(report: dict, title: str) -> str:
         ("429 retries", report.get("rejected_retries")),
     ]
     return format_table(("metric", "value"), rows, title=title)
+
+
+def cmd_tournament(args, out) -> int:
+    import json as json_mod
+
+    from .exec import (
+        CampaignFailed,
+        PointTimeout,
+        VerifyFailure,
+        WorkerFailure,
+    )
+    from .experiments import (
+        DEFAULT_ENTRANTS,
+        SCENARIOS,
+        run_tournament,
+        write_tournament_record,
+    )
+    from .experiments.tournament import TOURNAMENT_WORKLOADS
+
+    def _csv(value, choices, what):
+        if value is None:
+            return None
+        picked = tuple(v.strip() for v in value.split(",") if v.strip())
+        bad = sorted(set(picked) - set(choices))
+        if bad:
+            raise ValueError(
+                f"unknown {what}: {', '.join(bad)} "
+                f"(choose from {', '.join(choices)})"
+            )
+        return picked
+
+    by_name = {e.name: e for e in DEFAULT_ENTRANTS}
+    try:
+        workloads = _csv(args.workloads, WORKLOAD_CHOICES, "workload(s)")
+        entrant_names = _csv(args.entrants, tuple(by_name), "entrant(s)")
+        scenarios = _csv(args.scenarios, SCENARIOS, "scenario(s)")
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+
+    cfg = default_config(scale=args.scale)
+    if args.kernel:
+        cfg = cfg.scaled(kernel=args.kernel)
+    executor, cache = _executor(args)
+    supervisor = _supervisor(args, executor, "tournament")
+    runner = Runner(cfg, cache=cache)
+    try:
+        doc = run_tournament(
+            cfg,
+            workloads=workloads or TOURNAMENT_WORKLOADS,
+            entrants=(
+                tuple(by_name[n] for n in entrant_names)
+                if entrant_names else DEFAULT_ENTRANTS
+            ),
+            scenarios=scenarios or SCENARIOS,
+            runner=runner,
+            supervisor=supervisor,
+        )
+    except KeyboardInterrupt:
+        return _interrupted(args)
+    except (VerifyFailure, WorkerFailure, PointTimeout, CampaignFailed) as exc:
+        print(f"campaign failed: {exc}", file=sys.stderr)
+        return 1
+    finally:
+        _close_journal(supervisor)
+
+    if args.json:
+        print(json_mod.dumps(doc, indent=2, sort_keys=True), file=out)
+    else:
+        rows = [
+            (row["entrant"],
+             f"{row['mean_normalized_energy']:.3f}",
+             f"{row['mean_slowdown']:.3f}",
+             f"{row['wins']}/{row['max_wins']}",
+             "yes" if row["contained"] else "NO")
+            for row in doc["leaderboard"]
+        ]
+        title = (
+            f"policy tournament (scale {doc['scale']}; "
+            f"{len(doc['workloads'])} workloads x "
+            f"{len(doc['scenarios'])} scenarios)"
+        )
+        print(format_table(
+            ("entrant", "mean norm. energy", "mean slowdown", "wins",
+             "in envelope"),
+            rows, title=title,
+        ), file=out)
+        names = [e["name"] for e in doc["entrants"]]
+        matrix_rows = [
+            tuple([a] + [
+                "-" if a == b else str(doc["win_matrix"][a][b])
+                for b in names
+            ])
+            for a in names
+        ]
+        print(file=out)
+        print(format_table(
+            ("wins of \\ over",) + tuple(names), matrix_rows,
+            title="strict-energy win matrix (row beats column)",
+        ), file=out)
+    if not args.no_record:
+        path = write_tournament_record(doc, args.output_dir)
+        print(f"record written to {path}",
+              file=sys.stderr if args.json else out)
+    if not doc["all_contained"]:
+        escaped = [
+            f"{c['scenario']}/{c['workload']}/{c['entrant']}"
+            for c in doc["cells"] if not c["contained"]
+        ]
+        print(
+            "measured energy escaped its certified envelope for: "
+            + ", ".join(escaped),
+            file=sys.stderr,
+        )
+        return 1
+    return 0
 
 
 def cmd_serve(args, out) -> int:
@@ -1232,6 +1432,7 @@ _HANDLERS = {
     "figure": cmd_figure,
     "resume": cmd_resume,
     "bench": cmd_bench,
+    "tournament": cmd_tournament,
     "serve": cmd_serve,
     "loadtest": cmd_loadtest,
     "report": cmd_report,

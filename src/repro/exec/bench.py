@@ -452,6 +452,35 @@ def _server_block(cfg: ExperimentConfig, cache_root: Path) -> dict:
     )
 
 
+def _tournament_block(cfg: ExperimentConfig) -> dict:
+    """The ``tournament`` block: a reduced policy race per bench record.
+
+    Two workloads × three entrants (one static compiler entrant, one
+    pure-online, one hybrid) × {clean, straggler} — small enough to ride
+    every bench run, wide enough to put the adaptive policies' energy
+    and envelope containment on the trajectory PRs are diffed against.
+    """
+    from ..experiments.tournament import Entrant, run_tournament
+
+    doc = run_tournament(
+        cfg,
+        workloads=("sar", "hf"),
+        entrants=(
+            Entrant("compiler-simple", "simple", scheme=True),
+            Entrant("forecast", "forecast", scheme=False),
+            Entrant("hybrid", "hybrid", scheme=True),
+        ),
+        scenarios=("clean", "straggler"),
+    )
+    return {
+        "workloads": doc["workloads"],
+        "scenarios": doc["scenarios"],
+        "all_contained": doc["all_contained"],
+        "winner": doc["leaderboard"][0]["entrant"],
+        "leaderboard": doc["leaderboard"],
+    }
+
+
 def run_bench(
     config: Optional[ExperimentConfig] = None,
     figures: Sequence[str] = GRID_FIGURES,
@@ -463,6 +492,7 @@ def run_bench(
     repeats: int = 1,
     shootout: bool = True,
     server: bool = True,
+    tournament: bool = True,
 ) -> dict:
     """Run the grid benchmark; returns the record (not yet written).
 
@@ -481,6 +511,10 @@ def run_bench(
     block: an in-process load-test of the scheduling service (see
     :func:`_server_block`) reporting requests/sec, p50/p99 latency and
     cache hit rate of the serving path.
+
+    With ``tournament`` (the default) the record gains a ``tournament``
+    block: the reduced policy race of :func:`_tournament_block`, keyed
+    on the winning entrant and per-cell envelope containment.
     """
     cfg = config or default_config()
     points = all_figure_points(cfg, names=figures)
@@ -573,6 +607,8 @@ def run_bench(
             record["server"] = _server_block(
                 cfg, Path(cache_dir) / "serve"
             )
+        if tournament:
+            record["tournament"] = _tournament_block(cfg)
     finally:
         if tmp is not None:
             tmp.cleanup()

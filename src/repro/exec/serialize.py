@@ -41,7 +41,11 @@ __all__ = [
 #: 3: RAID-10 mirror reads are now a pure function of the extent's
 #:    address (was call-history round-robin), so cached raid_level=10
 #:    results from v2 are not reproducible by fresh simulation.
-SCHEMA_VERSION = 3
+#: 4: IdlePredictor.predict() now clamps the EWMA into the recent
+#:    window's [min, max] (evidence-bounded forecasts), shifting the
+#:    decisions of every predictor-backed policy, so cached
+#:    prediction/history/staggered results from v3 are stale.
+SCHEMA_VERSION = 4
 
 
 #: Layout version of the campaign journal (`repro resume`).  Independent

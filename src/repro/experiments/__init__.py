@@ -20,7 +20,20 @@ from .figures import (
     table2_rows,
     table3,
 )
-from .runner import MULTISPEED_POLICIES, POLICIES, Runner, RunResult
+from .runner import (
+    MULTISPEED_POLICIES,
+    ONLINE_POLICIES,
+    POLICIES,
+    Runner,
+    RunResult,
+)
+from .tournament import (
+    DEFAULT_ENTRANTS,
+    SCENARIOS,
+    Entrant,
+    run_tournament,
+    write_tournament_record,
+)
 
 __all__ = [
     "ExperimentConfig",
@@ -29,7 +42,13 @@ __all__ = [
     "Runner",
     "RunResult",
     "POLICIES",
+    "ONLINE_POLICIES",
     "MULTISPEED_POLICIES",
+    "Entrant",
+    "DEFAULT_ENTRANTS",
+    "SCENARIOS",
+    "run_tournament",
+    "write_tournament_record",
     "APPS",
     "FigureResult",
     "make_runner",

@@ -48,10 +48,18 @@ class ExperimentConfig:
     prediction_margin: float = 1.0
     history_utilization_bound: float = 0.8
 
+    # Online-policy parameters (``repro.power.online``).
+    forecast_epoch: float = 30.0        # demand-forecast bucket (seconds)
+    credit_slack: float = 0.05          # performance-slack accrual fraction
+    hybrid_divergence: float = 2.0      # hint-trust spread bound (seconds)
+
     # Runtime scheduler.
     buffer_capacity_blocks: int = 2048
     scheduler_min_lead: int = 2
     max_slack: int = 200
+    #: Straggler-aware client-side window reordering (scheme runs only;
+    #: see :mod:`repro.runtime.reorder`).
+    reorder: bool = False
 
     # Workload scaling.
     workload_scale: float = 1.0
@@ -91,6 +99,7 @@ class ExperimentConfig:
             raid_level=self.raid_level,
             buffer_capacity_blocks=self.buffer_capacity_blocks,
             scheduler_min_lead=self.scheduler_min_lead,
+            reorder=self.reorder,
             kernel=self.kernel,
         )
 

@@ -19,7 +19,10 @@ from ..metrics.energy import breakdown_until, fleet_energy, idle_periods_until
 from ..metrics.idle import IdleCDF, idle_cdf
 from ..obs.base import Observability
 from ..power import (
+    CreditMultiSpeed,
+    ForecastSpindown,
     HistoryBasedMultiSpeed,
+    HybridCompilerAssist,
     NoPowerManagement,
     PredictionSpinDown,
     SimpleSpinDown,
@@ -32,10 +35,20 @@ from .config import ExperimentConfig
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..exec.cache import ResultCache
 
-__all__ = ["RunResult", "Runner", "POLICIES", "MULTISPEED_POLICIES"]
+__all__ = [
+    "RunResult",
+    "Runner",
+    "POLICIES",
+    "ONLINE_POLICIES",
+    "MULTISPEED_POLICIES",
+]
 
+#: The paper's four evaluated policies — figure grids are pinned to these.
 POLICIES = ("simple", "prediction", "history", "staggered")
-MULTISPEED_POLICIES = frozenset({"history", "staggered"})
+#: The online/adaptive family (beyond the paper; see ``repro.power.online``).
+ONLINE_POLICIES = ("forecast", "credit", "hybrid")
+#: Policies that run on the DRPM (multi-speed) disk spec.
+MULTISPEED_POLICIES = frozenset({"history", "staggered", "credit"})
 
 
 @dataclass
@@ -137,7 +150,20 @@ class Runner:
     # ------------------------------------------------------------------
     # Policy factory
     # ------------------------------------------------------------------
-    def _policy_factory(self, policy: str, cfg: ExperimentConfig):
+    def _policy_factory(
+        self,
+        policy: str,
+        cfg: ExperimentConfig,
+        workload: Optional[str] = None,
+        scheme: bool = False,
+    ):
+        """Zero-arg factory the session calls once per drive.
+
+        ``workload``/``scheme`` matter only for ``hybrid``, whose hints
+        are the compiled schedule's nominal touch times — available
+        exactly when the scheme is on for a known workload; otherwise the
+        policy runs hint-less (pure online fallback).
+        """
         if policy == "default":
             return lambda: NoPowerManagement()
         if policy == "simple":
@@ -152,6 +178,24 @@ class Runner:
             )
         if policy == "staggered":
             return lambda: StaggeredMultiSpeed(step_timeout=cfg.staggered_step)
+        if policy == "forecast":
+            return lambda: ForecastSpindown(epoch=cfg.forecast_epoch)
+        if policy == "credit":
+            return lambda: CreditMultiSpeed(slack_budget=cfg.credit_slack)
+        if policy == "hybrid":
+            hints: dict[int, tuple[float, ...]] = {}
+            if scheme and workload is not None:
+                from ..power.hints import nominal_node_touch_times
+
+                hints = nominal_node_touch_times(
+                    self.trace(workload, cfg),
+                    cfg.n_ionodes,
+                    cfg.stripe_size,
+                    book=self.compilation(workload, cfg).book,
+                )
+            return lambda: HybridCompilerAssist(
+                hints=hints, divergence_tolerance=cfg.hybrid_divergence
+            )
         raise ValueError(f"unknown policy {policy!r}")
 
     # ------------------------------------------------------------------
@@ -177,7 +221,7 @@ class Runner:
         session = Session(
             trace,
             cfg.disk_spec(multispeed),
-            self._policy_factory(policy, cfg),
+            self._policy_factory(policy, cfg, workload=workload, scheme=scheme),
             cfg.session_config(),
             compile_result=compile_result,
             obs=obs,

@@ -1,12 +1,23 @@
-"""Disk power-management policies (paper §II).
+"""Disk power-management policies (paper §II, plus the online family).
 
 Four evaluated policies — :class:`SimpleSpinDown`,
 :class:`PredictionSpinDown`, :class:`HistoryBasedMultiSpeed`,
 :class:`StaggeredMultiSpeed` — plus the :class:`NoPowerManagement`
 baseline ("Default Scheme") and an oracle upper bound for ablations.
+
+Beyond the paper, :mod:`repro.power.online` contributes three adaptive
+policies — :class:`ForecastSpindown`, :class:`CreditMultiSpeed`,
+:class:`HybridCompilerAssist` — pitted against the static compiler by
+the policy tournament (:mod:`repro.experiments.tournament`).
+
+:mod:`repro.power.hints` (schedule-derived nominal touch times) is *not*
+re-exported here: it imports the storage layer, which depends back on
+this package's policy interface; import it directly as
+``from repro.power.hints import nominal_node_touch_times``.
 """
 
 from .multispeed import HistoryBasedMultiSpeed, StaggeredMultiSpeed, speed_for_idle
+from .online import CreditMultiSpeed, ForecastSpindown, HybridCompilerAssist
 from .oracle import OracleSpinDown
 from .policy import NoPowerManagement, PowerPolicy
 from .predictor import IdlePredictor
@@ -19,19 +30,33 @@ __all__ = [
     "PredictionSpinDown",
     "HistoryBasedMultiSpeed",
     "StaggeredMultiSpeed",
+    "ForecastSpindown",
+    "CreditMultiSpeed",
+    "HybridCompilerAssist",
     "OracleSpinDown",
     "IdlePredictor",
     "speed_for_idle",
 ]
 
-POLICY_NAMES = ("default", "simple", "prediction", "history", "staggered")
+POLICY_NAMES = (
+    "default",
+    "simple",
+    "prediction",
+    "history",
+    "staggered",
+    "forecast",
+    "credit",
+    "hybrid",
+)
 
 
 def make_policy(name: str, **kwargs) -> PowerPolicy:
-    """Factory: build a policy by its paper name.
+    """Factory: build a policy by name.
 
-    ``default`` | ``simple`` | ``prediction`` | ``history`` | ``staggered``.
-    Keyword arguments are forwarded to the policy constructor.
+    Paper policies: ``default`` | ``simple`` | ``prediction`` |
+    ``history`` | ``staggered``.  Online family: ``forecast`` |
+    ``credit`` | ``hybrid``.  Keyword arguments are forwarded to the
+    policy constructor (``hybrid`` notably accepts ``hints=``).
     """
     factories = {
         "default": NoPowerManagement,
@@ -39,6 +64,9 @@ def make_policy(name: str, **kwargs) -> PowerPolicy:
         "prediction": PredictionSpinDown,
         "history": HistoryBasedMultiSpeed,
         "staggered": StaggeredMultiSpeed,
+        "forecast": ForecastSpindown,
+        "credit": CreditMultiSpeed,
+        "hybrid": HybridCompilerAssist,
     }
     if name not in factories:
         raise ValueError(f"unknown policy {name!r}; choose from {sorted(factories)}")

@@ -1,0 +1,115 @@
+"""Nominal per-node access clocks derived from the compiled schedule.
+
+The compiler's scheduling table fixes *which iteration slot* touches
+which I/O node; combined with the trace's per-slot compute costs that
+yields a nominal wall-clock estimate of every node touch — before any
+simulation.  Two consumers share this single derivation:
+
+* the static energy analyzer (:mod:`repro.analysis.energy`) turns the
+  touch times into per-node residency envelopes and idle-gap
+  diagnostics;
+* :class:`~repro.power.online.HybridCompilerAssist` hands each drive its
+  node's touch times as *hints* — the compiler's prediction of the
+  drive's future idle gaps — and overrides them online when observation
+  diverges.
+
+The times are nominal (pure compute clock, no I/O delays), which is
+exactly why the hybrid policy tracks an observed offset instead of
+trusting them as absolute timestamps.
+
+This module is imported directly (``from repro.power.hints import ...``)
+rather than re-exported by :mod:`repro.power`: it pulls in the storage
+layer, which itself depends on the policy interface, and keeping it out
+of the package ``__init__`` keeps that dependency edge one-way.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from ..storage.striping import StripeMap, plan_layout
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..core.table import ScheduleBook
+    from ..ir.profiling import AccessTrace
+
+__all__ = [
+    "slot_clock",
+    "slot_time",
+    "signature_nodes",
+    "nominal_node_touch_times",
+]
+
+
+def slot_clock(trace: "AccessTrace") -> list[list[float]]:
+    """Per-process nominal slot start times (pure compute clock)."""
+    clocks: list[list[float]] = []
+    for proc in trace.processes:
+        starts = [0.0]
+        for cost in proc.slot_costs:
+            starts.append(starts[-1] + cost)
+        clocks.append(starts)
+    return clocks
+
+
+def slot_time(clocks: list[list[float]], process: int, slot: int) -> float:
+    starts = clocks[process]
+    return starts[min(max(slot, 0), len(starts) - 1)]
+
+
+def signature_nodes(signature: int) -> list[int]:
+    return [bit for bit in range(signature.bit_length()) if signature >> bit & 1]
+
+
+def _io_extent(striped, block_bytes: int, block: int, blocks: int):
+    """Clipped (offset, size) of a traced I/O, or None when degenerate."""
+    offset = block * block_bytes
+    if offset >= striped.size:
+        return None
+    size = min(blocks * block_bytes, striped.size - offset)
+    if size <= 0:
+        return None
+    return offset, size
+
+
+def nominal_node_touch_times(
+    trace: "AccessTrace",
+    n_ionodes: int,
+    stripe_size: int,
+    book: Optional["ScheduleBook"] = None,
+) -> dict[int, tuple[float, ...]]:
+    """Sorted nominal touch times per I/O node, ``{node: (t0, t1, ...)}``.
+
+    With ``book`` (the scheme on), reads land at their *scheduled* slot's
+    nominal start and writes stay at their program-order slot; without it
+    every traced I/O lands at its program-order slot.  Every node in
+    ``range(n_ionodes)`` is present, possibly with an empty tuple.
+    """
+    program = trace.program
+    smap = StripeMap(stripe_size, n_ionodes)
+    files = plan_layout(
+        {name: decl.size_bytes for name, decl in program.files.items()},
+        stripe_size,
+        n_ionodes,
+    )
+    clocks = slot_clock(trace)
+    node_times: dict[int, list[float]] = {n: [] for n in range(n_ionodes)}
+    if book is not None:
+        for access in book.all_accesses():
+            t = slot_time(clocks, access.process, access.scheduled_slot or 0)
+            for node in signature_nodes(access.signature):
+                if node < n_ionodes:
+                    node_times[node].append(t)
+        io_source = trace.writes()
+    else:
+        io_source = trace.all_ios()
+    for io in io_source:
+        striped = files[io.file]
+        decl = program.files[io.file]
+        extent = _io_extent(striped, decl.block_bytes, io.block, io.blocks)
+        if extent is None:
+            continue
+        t = slot_time(clocks, io.process, io.slot)
+        for node in smap.nodes_of_extent(striped, *extent):
+            node_times[node].append(t)
+    return {node: tuple(sorted(times)) for node, times in node_times.items()}

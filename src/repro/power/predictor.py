@@ -44,8 +44,19 @@ class IdlePredictor:
         self._seen += 1
 
     def predict(self) -> float:
-        """Predicted length (seconds) of the idle period starting now."""
-        return self._ewma
+        """Predicted length (seconds) of the idle period starting now.
+
+        The EWMA is clamped into ``[min(recent), max(recent)]``: the
+        forecast never leaves the envelope of recent evidence.  An
+        unclamped full-history EWMA can keep the ghost of a single long
+        gap alive for arbitrarily many short observations (or vice
+        versa), predicting a value *no recent observation supports* —
+        and it would also break the ``predict_upper() >= predict()``
+        contract policies rely on for ahead-of-time wake-up timers.
+        """
+        if not self._recent:
+            return self._ewma
+        return min(max(self._ewma, min(self._recent)), max(self._recent))
 
     def predict_upper(self) -> float:
         """Conservative upper estimate: the longest idle period in the

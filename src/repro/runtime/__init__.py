@@ -6,6 +6,7 @@ from .buffer import BufferEntry, EntryState, GlobalBuffer
 from .client import ClientProcess, ClientStats
 from .clock import LocalClocks
 from .mpi_io import IOStats, MPIIO
+from .reorder import StragglerAwareReorderer
 from .scheduler_thread import (
     SchedulerThread,
     SchedulerThreadStats,
@@ -22,6 +23,7 @@ __all__ = [
     "ClientStats",
     "SchedulerThread",
     "SchedulerThreadStats",
+    "StragglerAwareReorderer",
     "issue_window",
     "will_prefetch",
     "GlobalBuffer",

@@ -30,6 +30,7 @@ from .mpi_io import MPIIO
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..faults.injector import FaultCounters
+    from .reorder import StragglerAwareReorderer
 
 __all__ = [
     "SchedulerThreadStats",
@@ -105,6 +106,7 @@ class SchedulerThread:
         fetch_timeout: Optional[float] = None,
         fetch_retries: int = 0,
         fault_counters: Optional["FaultCounters"] = None,
+        reorder: Optional["StragglerAwareReorderer"] = None,
     ):
         """``min_lead`` is the "much earlier" threshold: an access is
         prefetched only when ``original_slot − scheduled_slot ≥ min_lead``.
@@ -121,7 +123,13 @@ class SchedulerThread:
         consumer falls back to an on-demand read — and, while the
         consumer has not yet reached the access's slot, re-requested up
         to ``fetch_retries`` times with exponential backoff.  ``None``
-        (the default) schedules no watchdog events at all."""
+        (the default) schedules no watchdog events at all.
+
+        ``reorder`` attaches a shared
+        :class:`~repro.runtime.reorder.StragglerAwareReorderer`: each
+        issue window is reordered slowest-node-first before issue, and
+        every prefetch completion feeds its latency back per touched
+        node.  ``None`` keeps the table order exactly."""
         if min_lead < 1:
             raise ValueError(f"min_lead must be >= 1: {min_lead}")
         if batch_slots < 1:
@@ -136,6 +144,7 @@ class SchedulerThread:
         self.batch_slots = batch_slots
         self.fetch_timeout = fetch_timeout
         self.fetch_retries = fetch_retries
+        self.reorder = reorder
         self.stats = SchedulerThreadStats()
         self._fault_counters = fault_counters
         self._tracer = sim.obs.tracer
@@ -146,6 +155,10 @@ class SchedulerThread:
         for window_start, accesses in self._windows():
             # Pace against our own application process.
             yield from self.clocks.wait_until(self.process_id, window_start)
+            if self.reorder is not None:
+                # Reorder at wake-up time, not at grouping time: the
+                # straggler map reflects every completion observed so far.
+                accesses = self.reorder.order(accesses)
             for access in accesses:
                 if not will_prefetch(
                     access.original_slot, access.scheduled_slot, self.min_lead
@@ -221,7 +234,26 @@ class SchedulerThread:
             )
         done = self.mpi_io.read(access.file, access.block, access.blocks)
         aid = entry.aid
-        done.add_waiter(lambda _v: self.buffer.complete_fetch(aid))
+        if self.reorder is not None:
+            reorder = self.reorder
+            signature = access.signature
+            issued_at = self.sim.now
+            sim = self.sim
+
+            def _complete(_v, _aid=aid):
+                self.buffer.complete_fetch(_aid)
+                latency = sim.now - issued_at
+                bit = 0
+                sig = signature
+                while sig:
+                    if sig & 1:
+                        reorder.observe(bit, latency)
+                    sig >>= 1
+                    bit += 1
+
+            done.add_waiter(_complete)
+        else:
+            done.add_waiter(lambda _v: self.buffer.complete_fetch(aid))
         if self.fetch_timeout is not None:
             self._arm_watchdog(entry, access, attempt=0)
         return

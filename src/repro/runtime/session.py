@@ -30,6 +30,7 @@ from .buffer import GlobalBuffer
 from .client import ClientProcess
 from .clock import LocalClocks
 from .mpi_io import MPIIO
+from .reorder import StragglerAwareReorderer
 from .scheduler_thread import SchedulerThread
 
 __all__ = ["SessionConfig", "SessionResult", "Session"]
@@ -51,6 +52,11 @@ class SessionConfig:
     buffer_capacity_blocks: int = 512
     scheduler_min_lead: int = 2
     scheduler_batch_slots: int = 8
+    #: Straggler-aware client-side reordering of each scheduler issue
+    #: window (see :mod:`repro.runtime.reorder`).  Only meaningful with
+    #: the scheme on — without scheduler threads there is nothing to
+    #: reorder.
+    reorder: bool = False
     #: Simulation kernel (see :mod:`repro.sim.kernels`).  All kernels are
     #: bit-identical in results; they differ only in wall-clock speed.
     kernel: str = "heap"
@@ -166,6 +172,11 @@ class Session:
         self.buffer: Optional[GlobalBuffer] = None
         self.scheduler_threads: list[SchedulerThread] = []
         self.clients: list[ClientProcess] = []
+        # One shared straggler map across every scheduler thread: the
+        # simulator is single-threaded, so sharing stays deterministic.
+        self.reorderer: Optional[StragglerAwareReorderer] = None
+        if config.reorder and compile_result is not None:
+            self.reorderer = StragglerAwareReorderer(config.n_ionodes)
         self._build_actors()
 
     # ------------------------------------------------------------------
@@ -231,6 +242,7 @@ class Session:
                         if self.faults is not None
                         else None
                     ),
+                    reorder=self.reorderer,
                 )
                 self.scheduler_threads.append(thread)
                 self.sim.process(thread.run(), name=f"sched{pid}")

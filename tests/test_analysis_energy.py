@@ -410,6 +410,7 @@ class TestPolicyCapabilityFlags:
     def test_every_policy_registered(self):
         assert set(POLICY_CLASSES) == {
             "default", "simple", "prediction", "history", "staggered",
+            "forecast", "credit", "hybrid",
         }
 
     def test_capability_classes(self):
@@ -419,6 +420,9 @@ class TestPolicyCapabilityFlags:
         assert POLICY_CLASSES["prediction"].can_spin_down
         assert POLICY_CLASSES["history"].can_ramp
         assert POLICY_CLASSES["staggered"].can_ramp
+        assert POLICY_CLASSES["forecast"].can_spin_down
+        assert POLICY_CLASSES["credit"].can_ramp
+        assert POLICY_CLASSES["hybrid"].can_spin_down
 
     def test_corpus_covers_every_capability_class(self):
         classes = {

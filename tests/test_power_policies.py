@@ -248,6 +248,45 @@ class TestSpeedForIdle:
         round_trip = 2 * spec.rpm_change_time(spec.max_rpm, rpm)
         assert round_trip <= idle * bound
 
+    def test_exact_threshold_takes_the_lower_speed(self):
+        """Pin the boundary: when ``2·ramp == idle·bound`` *exactly*,
+        the ``<=`` comparison admits the level — the policy drops speed
+        rather than staying at full RPM.  With power-of-two operands
+        both sides are float-exact, so this is deterministic, and a
+        future rewrite to ``<`` (or a rearrangement that divides instead
+        of multiplying) would flip it.
+        """
+        spec = multispeed_fast_spec()
+        level = spec.rpm_levels[1]  # one step below max
+        ramp = spec.rpm_change_time(spec.max_rpm, level)
+        bound = 0.5
+        predicted = 4.0 * ramp  # 2·ramp == predicted·bound exactly
+        assert 2.0 * ramp == predicted * bound
+        assert speed_for_idle(spec, predicted, bound) == level
+
+    def test_just_below_threshold_stays_at_max(self):
+        spec = multispeed_fast_spec()
+        level = spec.rpm_levels[1]
+        ramp = spec.rpm_change_time(spec.max_rpm, level)
+        predicted = 4.0 * ramp
+        import math
+        assert (
+            speed_for_idle(spec, math.nextafter(predicted, 0.0), 0.5)
+            == spec.max_rpm
+        )
+
+    @pytest.mark.parametrize("level_index", [1, 2, 3])
+    def test_exact_threshold_deterministic_per_level(self, level_index):
+        """At each level's exact threshold the chosen speed is that
+        level itself: it qualifies, and every slower level's round trip
+        strictly exceeds the budget."""
+        spec = multispeed_fast_spec()
+        level = spec.rpm_levels[level_index]
+        ramp = spec.rpm_change_time(spec.max_rpm, level)
+        predicted = 4.0 * ramp
+        for _ in range(3):  # no hidden state: identical calls agree
+            assert speed_for_idle(spec, predicted, 0.5) == level
+
 
 class TestStaggered:
     def test_negative_dwell_rejected(self):

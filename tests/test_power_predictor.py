@@ -1,6 +1,8 @@
 """Tests for the idle-period predictor."""
 
 import pytest
+from hypothesis import given
+from hypothesis import strategies as st
 
 from repro.power import IdlePredictor
 
@@ -78,3 +80,53 @@ class TestUpperEstimate:
         for v in (1.0, 2.0, 3.0):
             p.observe(v)
         assert p.recent == (1.0, 2.0, 3.0)
+
+
+# ----------------------------------------------------------------------
+# Property suite: the contracts every predictor-backed policy leans on,
+# over arbitrary observation histories.
+# ----------------------------------------------------------------------
+idle_lengths = st.floats(
+    min_value=0.0, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+histories = st.lists(idle_lengths, min_size=1, max_size=32)
+alphas = st.floats(min_value=0.01, max_value=1.0)
+windows = st.integers(min_value=1, max_value=12)
+
+
+class TestPredictorProperties:
+    @given(values=histories, alpha=alphas, window=windows)
+    def test_prediction_bounded_by_window_extrema(self, values, alpha, window):
+        """The forecast never leaves the envelope of recent evidence:
+        ``min(recent) <= predict() <= max(recent)``."""
+        p = IdlePredictor(alpha=alpha, window=window)
+        for v in values:
+            p.observe(v)
+        recent = p.recent
+        assert min(recent) <= p.predict() <= max(recent)
+
+    @given(values=histories, alpha=alphas, window=windows)
+    def test_upper_dominates_prediction(self, values, alpha, window):
+        """Ahead-of-time wake-up timers require
+        ``predict_upper() >= predict()`` unconditionally."""
+        p = IdlePredictor(alpha=alpha, window=window)
+        for v in values:
+            p.observe(v)
+        assert p.predict_upper() >= p.predict()
+
+    @given(values=histories, window=windows)
+    def test_window_eviction_exact(self, values, window):
+        """The window holds exactly the last ``window`` observations in
+        order — one in, oldest out, nothing lingering."""
+        p = IdlePredictor(window=window)
+        for v in values:
+            p.observe(v)
+        assert p.recent == tuple(values[-window:])
+        assert p.observations == len(values)
+
+    @given(values=histories, window=windows)
+    def test_upper_is_exact_window_max(self, values, window):
+        p = IdlePredictor(window=window)
+        for v in values:
+            p.observe(v)
+        assert p.predict_upper() == max(values[-window:])

@@ -104,3 +104,84 @@ class TestInprocessLoadtest:
         # Two identical concurrent submissions, cold cache: exactly one
         # simulation — the second rides the first (coalesce or hit).
         assert report["simulated"] == 1
+
+
+class TestPercentileEdgeCases:
+    """Nearest-rank behaviour on the awkward sample sizes real bursts
+    produce — far fewer than 100 samples, down to one."""
+
+    def test_p99_with_fewer_than_100_samples_is_max(self):
+        # Nearest rank: ceil(0.99 * n) == n for every n < 100, so p99
+        # must be the sample maximum, never an out-of-range index.
+        for n in (1, 2, 3, 10, 50, 99):
+            values = [float(v) for v in range(1, n + 1)]
+            assert _percentile(values, 0.99) == float(n), n
+
+    def test_p50_small_samples(self):
+        assert _percentile([1.0, 2.0], 0.50) == 1.0  # ceil(1.0) = rank 1
+        assert _percentile([1.0, 2.0, 3.0], 0.50) == 2.0
+        assert _percentile([1.0, 2.0, 3.0, 4.0], 0.50) == 2.0
+
+    def test_rank_never_exceeds_sample(self):
+        # q > 1 is out-of-contract but must clamp, not raise.
+        assert _percentile([1.0, 2.0], 1.5) == 2.0
+
+    def test_percentiles_monotone_in_q(self):
+        values = [float(v) for v in range(1, 8)]
+        qs = (0.01, 0.25, 0.50, 0.75, 0.90, 0.99, 1.0)
+        picks = [_percentile(values, q) for q in qs]
+        assert picks == sorted(picks)
+
+
+class TestDegenerateBursts:
+    def test_single_sample_burst_report_is_schema_stable(self, tmp_path):
+        """One client, one request: every latency aggregate reduces to
+        the single sample without raising."""
+        report = asyncio.run(
+            run_inprocess_loadtest(
+                TINY, tmp_path / "cache", clients=1, requests=1, mix=MIX_ONE
+            )
+        )
+        assert report["requests"] == 1
+        assert report["ok"] == 1
+        lat = report["latency_ms"]
+        assert lat["p50"] == lat["p99"] == lat["max"]
+        assert lat["mean"] == pytest.approx(lat["p50"], abs=0.002)
+
+    def test_all_429_burst_reports_instead_of_raising(
+        self, tmp_path, monkeypatch
+    ):
+        """A queue that never admits anything: every submission exhausts
+        its retries as 429s.  The harness must come back with a
+        schema-stable zeroed report — not a ZeroDivision/IndexError from
+        the empty latency sample."""
+        from repro.serve import loadgen as lg
+        from repro.serve.server import QueueFull, SchedulingServer
+
+        def always_full(self, tenant, point):
+            raise QueueFull(1)
+
+        monkeypatch.setattr(SchedulingServer, "submit", always_full)
+        monkeypatch.setattr(lg, "_MAX_SUBMIT_ATTEMPTS", 2)
+        monkeypatch.setattr(lg, "_MAX_RETRY_SLEEP", 0.01)
+
+        report = asyncio.run(
+            run_inprocess_loadtest(
+                TINY,
+                tmp_path / "cache",
+                clients=2,
+                requests=2,
+                mix=MIX_ONE,
+                warm=False,  # the warm phase would (rightly) fail loudly
+            )
+        )
+        assert report["requests"] == 4
+        assert report["ok"] == 0
+        assert report["failed"] == 4
+        assert report["rejected_retries"] == 8  # 2 attempts x 4 requests
+        assert report["latency_ms"] == {
+            "p50": 0.0, "p99": 0.0, "mean": 0.0, "max": 0.0,
+        }
+        assert report["cache_hit_rate"] == 0.0
+        assert report["errors"]  # the queue-stayed-full diagnosis
+        assert all("queue stayed full" in e for e in report["errors"])
