@@ -399,6 +399,21 @@ def build_parser() -> argparse.ArgumentParser:
     serve_p.add_argument("--no-cache", action="store_true",
                          help="serve without a result cache (every "
                          "submission simulates)")
+    serve_p.add_argument("--wal", default=None, metavar="WAL.jsonl",
+                         help="admission write-ahead log: every accepted "
+                         "submission is fsynced here before its 202")
+    serve_p.add_argument("--recover", default=None, metavar="WAL.jsonl",
+                         help="replay WAL.jsonl on start (re-enqueue "
+                         "accepted-but-unfinished jobs), then keep "
+                         "journaling to it; implies --wal WAL.jsonl")
+    serve_p.add_argument("--chaos", default=None, metavar="PLAN.json",
+                         help="fault plan whose server.* events sabotage "
+                         "the serving path deterministically (counters: "
+                         "server.chaos.*)")
+    serve_p.add_argument("--idle-timeout", type=float, default=30.0,
+                         metavar="SEC",
+                         help="server-side cap on long-polls and idle "
+                         "event streams (default: 30)")
 
     load_p = sub.add_parser(
         "loadtest", help="drive the synthetic load harness at a server"
@@ -981,6 +996,9 @@ def _loadtest_table(report: dict, title: str) -> str:
         ("simulated", report.get("simulated")),
         ("queue depth peak", int(report.get("queue_depth_peak", 0))),
         ("429 retries", report.get("rejected_retries")),
+        ("transport retries", report.get("retried", 0)),
+        ("deduplicated", report.get("deduplicated", 0)),
+        ("lost admissions", report.get("lost", 0)),
     ]
     return format_table(("metric", "value"), rows, title=title)
 
@@ -1112,6 +1130,21 @@ def cmd_serve(args, out) -> int:
     if args.kernel:
         cfg = cfg.scaled(kernel=args.kernel)
     cache_dir = _resolved_cache_dir(args)
+    if args.recover is not None and args.wal is not None \
+            and args.recover != args.wal:
+        print("--recover and --wal name different journals; pick one",
+              file=sys.stderr)
+        return 2
+    wal = args.recover if args.recover is not None else args.wal
+    chaos_plan = None
+    if args.chaos:
+        from .faults import load_plan
+
+        try:
+            chaos_plan = load_plan(args.chaos)
+        except (OSError, ValueError, KeyError) as exc:
+            print(f"bad chaos plan {args.chaos}: {exc}", file=sys.stderr)
+            return 2
     try:
         server_config = ServerConfig(
             host=args.host,
@@ -1123,6 +1156,10 @@ def cmd_serve(args, out) -> int:
             queue_limit=args.queue_limit,
             retries=args.retries,
             verify=not args.no_verify,
+            wal_path=Path(wal) if wal is not None else None,
+            recover=args.recover is not None,
+            chaos_plan=chaos_plan,
+            idle_timeout=args.idle_timeout,
         )
     except ValueError as exc:
         print(f"bad server configuration: {exc}", file=sys.stderr)
@@ -1134,17 +1171,29 @@ def cmd_serve(args, out) -> int:
         loop = asyncio.get_running_loop()
         for sig in (signal.SIGTERM, signal.SIGINT):
             loop.add_signal_handler(sig, server.request_shutdown)
+        replayed = server.metrics.counter("server.recovery.replayed").value \
+            if server_config.recover else 0
         print(
             f"[serve] listening on {server.address} "
             f"(cache: {cache_dir or 'disabled'}, "
-            f"scale {cfg.workload_scale}); SIGTERM drains",
+            f"scale {cfg.workload_scale}, "
+            f"wal: {wal or 'off'}"
+            + (f", replayed {replayed} job(s)" if server_config.recover
+               else "")
+            + (", chaos armed" if chaos_plan is not None else "")
+            + "); SIGTERM drains",
             file=sys.stderr,
         )
         await server.wait_stopped()
         await server.stop()
         print("[serve] drained, shut down cleanly", file=sys.stderr)
 
-    asyncio.run(_main())
+    try:
+        asyncio.run(_main())
+    except ValueError as exc:
+        # e.g. a populated WAL started without --recover
+        print(f"[serve] {exc}", file=sys.stderr)
+        return 2
     return 0
 
 

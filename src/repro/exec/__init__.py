@@ -11,6 +11,9 @@ Layout:
 * :mod:`~repro.exec.executor` — :class:`ExperimentExecutor` and the
   worker entry points (one shared Runner per worker, verify gating);
 * :mod:`~repro.exec.grid` — which run points each paper figure consumes;
+* :mod:`~repro.exec.journal` — :class:`DurableJournal`, the fsync'd
+  truncated-tail-tolerant JSONL substrate shared by the campaign journal
+  and the scheduling server's admission WAL (``repro serve --recover``);
 * :mod:`~repro.exec.supervise` — :class:`CampaignSupervisor`: watchdog
   timeouts, seeded-backoff retries, worker-crash recovery/quarantine,
   the resumable JSONL campaign journal and partial-failure reports;
@@ -42,6 +45,16 @@ from .grid import (
     with_fault_plan,
     with_kernel,
 )
+from .journal import (
+    WAL_SCHEMA_VERSION,
+    DurableJournal,
+    load_wal,
+    point_from_doc,
+    point_to_doc,
+    wal_admit,
+    wal_header,
+    wal_outcome,
+)
 from .serialize import (
     JOURNAL_SCHEMA_VERSION,
     SCHEMA_VERSION,
@@ -65,6 +78,14 @@ from .supervise import (
 __all__ = [
     "SCHEMA_VERSION",
     "JOURNAL_SCHEMA_VERSION",
+    "WAL_SCHEMA_VERSION",
+    "DurableJournal",
+    "point_to_doc",
+    "point_from_doc",
+    "wal_header",
+    "wal_admit",
+    "wal_outcome",
+    "load_wal",
     "run_result_to_dict",
     "run_result_from_dict",
     "point_digest",

@@ -43,7 +43,6 @@ byte-identical to an unsupervised run (locked in by the tests).
 from __future__ import annotations
 
 import hashlib
-import os
 import random
 import time
 from collections import deque
@@ -64,12 +63,11 @@ from .executor import (
     _worker_run,
     execute_point,
 )
+from .journal import DurableJournal
 from .serialize import (
     JOURNAL_SCHEMA_VERSION,
-    canonical_dumps,
     journal_entry,
     journal_header,
-    parse_journal_line,
 )
 
 __all__ = [
@@ -266,50 +264,36 @@ def backoff_delay(
 # ----------------------------------------------------------------------
 # Journal
 # ----------------------------------------------------------------------
-class CampaignJournal:
+class CampaignJournal(DurableJournal):
     """Append-only JSONL outcome log, valid after any line boundary.
 
-    Every record is written as one ``write`` + ``flush`` + ``fsync`` of a
-    single newline-terminated line, so a SIGINT (or SIGKILL) between
-    points can at worst truncate the final line — which the loader
-    skips.  Results never enter the journal; they live in the
-    content-addressed cache, keeping resume bit-identical for free.
+    A :class:`~repro.exec.journal.DurableJournal` (one fsync'd line per
+    record, truncated-tail-tolerant loader — the same substrate the
+    scheduling server's admission WAL rides) specialized to campaign
+    outcomes: a SIGINT (or SIGKILL) between points can at worst truncate
+    the final line, which the loader skips.  Results never enter the
+    journal; they live in the content-addressed cache, keeping resume
+    bit-identical for free.
     """
 
     def __init__(
         self, path: Union[str, Path], argv: Optional[list[str]] = None
     ):
-        self.path = Path(path)
-        self.path.parent.mkdir(parents=True, exist_ok=True)
-        fresh = not self.path.exists() or self.path.stat().st_size == 0
-        self._fh = self.path.open("a", encoding="utf-8")
-        if fresh:
-            if argv is None:
-                raise ValueError(
-                    "a new journal needs the campaign argv for its header"
-                )
-            self._write(journal_header(argv))
+        fresh = not Path(path).exists() or Path(path).stat().st_size == 0
+        if fresh and argv is None:
+            raise ValueError(
+                "a new journal needs the campaign argv for its header"
+            )
+        super().__init__(
+            path, header=journal_header(argv) if argv is not None else None
+        )
 
     def record(
         self, digest: str, label: str, outcome: str, attempts: int = 0
     ) -> None:
         if outcome not in OUTCOMES:
             raise ValueError(f"unknown outcome {outcome!r}")
-        self._write(journal_entry(digest, label, outcome, attempts))
-
-    def _write(self, record: dict) -> None:
-        self._fh.write(canonical_dumps(record) + "\n")
-        self._fh.flush()
-        os.fsync(self._fh.fileno())
-
-    def close(self) -> None:
-        self._fh.close()
-
-    def __enter__(self) -> "CampaignJournal":
-        return self
-
-    def __exit__(self, *_exc) -> None:
-        self.close()
+        self.append(journal_entry(digest, label, outcome, attempts))
 
 
 def load_journal(
@@ -321,23 +305,18 @@ def load_journal(
     overwritten by the point's terminal outcome); truncated or blank
     lines are skipped.
     """
-    path = Path(path)
     header: Optional[dict[str, Any]] = None
     entries: dict[str, dict[str, Any]] = {}
-    with path.open("r", encoding="utf-8") as fh:
-        for line in fh:
-            record = parse_journal_line(line)
-            if record is None:
-                continue
-            if record.get("kind") == "campaign-journal":
-                if record.get("schema") != JOURNAL_SCHEMA_VERSION:
-                    raise ValueError(
-                        f"journal schema {record.get('schema')!r} != "
-                        f"current {JOURNAL_SCHEMA_VERSION}"
-                    )
-                header = record
-            elif "digest" in record:
-                entries[record["digest"]] = record
+    for record in DurableJournal.load(path):
+        if record.get("kind") == "campaign-journal":
+            if record.get("schema") != JOURNAL_SCHEMA_VERSION:
+                raise ValueError(
+                    f"journal schema {record.get('schema')!r} != "
+                    f"current {JOURNAL_SCHEMA_VERSION}"
+                )
+            header = record
+        elif "digest" in record:
+            entries[record["digest"]] = record
     if header is None:
         raise ValueError(f"{path}: not a campaign journal (no header line)")
     return header, entries

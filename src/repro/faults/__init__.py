@@ -12,7 +12,10 @@ from .injector import (
     stream_rng,
 )
 from .plan import (
+    DISK_KINDS,
     FAULT_KINDS,
+    NODE_KINDS,
+    SERVER_KINDS,
     FaultEvent,
     FaultPlan,
     load_plan,
@@ -23,6 +26,9 @@ from .plan import (
 
 __all__ = [
     "FAULT_KINDS",
+    "DISK_KINDS",
+    "NODE_KINDS",
+    "SERVER_KINDS",
     "FaultEvent",
     "FaultPlan",
     "load_plan",

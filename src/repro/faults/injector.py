@@ -27,7 +27,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Optional
 
-from .plan import DISK_KINDS, FaultEvent, FaultPlan
+from .plan import DISK_KINDS, SERVER_KINDS, FaultEvent, FaultPlan
 
 __all__ = [
     "stream_rng",
@@ -295,6 +295,11 @@ class FaultInjector:
         self._node_events: dict[str, list] = {}
         self._node_wildcard: list = []
         for event in plan.events:
+            if event.kind in SERVER_KINDS:
+                # Serving-path faults (repro.serve.chaos) — not ours.
+                # Skipping them here keeps a server-only plan a strict
+                # no-op for the simulation.
+                continue
             self.injected[event.kind] = self.injected.get(event.kind, 0) + 1
             if event.kind in DISK_KINDS:
                 if event.target == "*":

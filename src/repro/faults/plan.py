@@ -45,9 +45,33 @@ Fault taxonomy (``FaultEvent.kind``):
     During the window every transfer on the target link pays
     ``extra_latency`` additional seconds.
 
+Service-layer faults (``server.*``) target the *serving path* of the
+scheduling service, not the simulation: they are consumed exclusively by
+:class:`repro.serve.chaos.ChaosEngine` (``repro serve --chaos``), fire
+with ``probability`` per opportunity (drawn from a named stream per
+kind), and ``count`` bounds how many times a given event fires (0 =
+unlimited).  The :class:`~repro.faults.injector.FaultInjector` ignores
+them, so a plan of only server events injects nothing into a simulation:
+
+``server.conn_reset``
+    The connection is reset mid-response (partial bytes, then abort).
+``server.slow_loris``
+    Request handling stalls ``extra_latency`` seconds before reading
+    (the server end of a slow-loris exchange).
+``server.truncate_body``
+    A response body is cut short of its declared length (or a chunked
+    stream loses its terminal chunk) and the connection closes.
+``server.oversize_body``
+    A response is followed by garbage bytes beyond its declared length.
+``server.executor_death``
+    The batch executor dies mid-batch; accepted jobs are re-queued.
+``server.wal_stall``
+    The admission WAL append stalls ``extra_latency`` seconds before
+    becoming durable (admissions are delayed, never lost).
+
 Targets: disk events name a drive (``node0.disk1``); node/net events
-name an I/O node (``node0`` or plain ``0``).  ``*`` targets every
-drive/node.
+name an I/O node (``node0`` or plain ``0``); server events use ``*``
+(the whole serving path — there is one server).
 
 Determinism contract: faults are *drawn from named seeded streams* —
 one stream per component, keyed by ``(plan.seed, component name)`` —
@@ -68,6 +92,7 @@ __all__ = [
     "FAULT_KINDS",
     "DISK_KINDS",
     "NODE_KINDS",
+    "SERVER_KINDS",
     "FaultEvent",
     "FaultPlan",
     "plan_to_dict",
@@ -83,7 +108,19 @@ DISK_KINDS = frozenset(
 NODE_KINDS = frozenset(
     {"node.straggle", "node.crash", "net.loss", "net.latency"}
 )
-FAULT_KINDS = DISK_KINDS | NODE_KINDS
+#: Serving-path faults, consumed only by ``repro.serve.chaos`` — the
+#: simulation-side injector skips them entirely.
+SERVER_KINDS = frozenset(
+    {"server.conn_reset", "server.slow_loris", "server.truncate_body",
+     "server.oversize_body", "server.executor_death", "server.wal_stall"}
+)
+FAULT_KINDS = DISK_KINDS | NODE_KINDS | SERVER_KINDS
+
+#: Server kinds that fire per opportunity with a probability draw.
+_SERVER_PROBABILISTIC = SERVER_KINDS
+
+#: Server kinds that stall for ``extra_latency`` seconds when they fire.
+_SERVER_STALLS = frozenset({"server.slow_loris", "server.wal_stall"})
 
 #: Kinds that require a positive-length window.
 _WINDOWED = frozenset(
@@ -122,12 +159,25 @@ class FaultEvent:
                 f"{self.kind}: needs a positive duration window "
                 f"(got {self.duration})"
             )
-        if self.kind in ("disk.transient_errors", "net.loss"):
+        if self.kind in ("disk.transient_errors", "net.loss") or (
+            self.kind in _SERVER_PROBABILISTIC
+        ):
             if not 0.0 < self.probability <= 1.0:
                 raise ValueError(
                     f"{self.kind}: probability must be in (0, 1] "
                     f"(got {self.probability})"
                 )
+        if self.kind in SERVER_KINDS:
+            if self.count < 0:
+                raise ValueError(
+                    f"{self.kind}: count must be >= 0 (0 = unlimited, "
+                    f"got {self.count})"
+                )
+        if self.kind in _SERVER_STALLS and self.extra_latency <= 0:
+            raise ValueError(
+                f"{self.kind}: extra_latency must be > 0 "
+                f"(got {self.extra_latency})"
+            )
         if self.kind == "disk.bad_sectors":
             if self.lba_start < 0 or self.lba_end <= self.lba_start:
                 raise ValueError(

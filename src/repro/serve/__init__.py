@@ -8,6 +8,13 @@ the hand-rolled zero-dependency HTTP/1.1 framing in
 ``repro loadtest``.
 """
 
+from .chaos import ChaosEngine, chaos_engine
+from .http import (
+    CircuitBreaker,
+    CircuitOpen,
+    HttpClient,
+    TruncatedResponse,
+)
 from .loadgen import LoadgenConfig, default_mix, run_inprocess_loadtest, run_loadgen
 from .server import (
     DEFAULT_TENANT,
@@ -22,12 +29,18 @@ from .server import (
 
 __all__ = [
     "DEFAULT_TENANT",
+    "ChaosEngine",
+    "CircuitBreaker",
+    "CircuitOpen",
     "Draining",
+    "HttpClient",
     "Job",
     "LoadgenConfig",
     "QueueFull",
     "SchedulingServer",
     "ServerConfig",
+    "TruncatedResponse",
+    "chaos_engine",
     "default_mix",
     "parse_point",
     "parse_tenant",

@@ -1,0 +1,160 @@
+"""Service-layer chaos: deterministic fault injection for the serving path.
+
+The simulation has had seeded fault injection since PR 4; this module
+points the same machinery at the *server itself*.  A
+:class:`ChaosEngine` compiles the ``server.*`` events of a
+:class:`~repro.faults.plan.FaultPlan` (see the taxonomy in
+:mod:`repro.faults.plan`) and answers one question per injection point —
+"does this fault fire now, and how hard?" — with draws from the same
+named sha256-seeded streams the simulator uses
+(:func:`repro.faults.injector.stream_rng`), one stream per fault kind.
+
+Determinism contract: each kind owns its own stream, so the decision
+sequence for (say) connection resets depends only on how many reset
+*opportunities* the server has seen — never on how the other kinds
+interleave.  Under a fixed request order the whole chaos schedule
+replays exactly; ``count`` additionally bounds a kind to its first N
+firings, which is what makes single-shot chaos tests deterministic
+end to end.
+
+Every firing is surfaced as a ``server.chaos.*`` counter in the
+server's :class:`~repro.obs.metrics.MetricsRegistry`, so a chaos run is
+attributable from ``/v1/metrics`` and ``repro report`` alone.
+
+An **empty plan builds no engine at all** (:func:`chaos_engine` returns
+``None``), and every injection point in the server is gated on the
+engine's presence — the acceptance criterion is that a chaos-free server
+is behaviorally identical to one that never heard of this module.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..faults.injector import stream_rng
+from ..faults.plan import SERVER_KINDS, FaultPlan
+from ..obs.metrics import MetricsRegistry
+
+__all__ = [
+    "CHAOS_COUNTERS",
+    "ChaosEngine",
+    "chaos_engine",
+]
+
+#: Counter per fault kind, pre-registered (zeros included) so chaos-free
+#: snapshots stay schema-stable and ``repro report`` always shows the
+#: family.
+CHAOS_COUNTERS = {
+    "server.conn_reset": "server.chaos.conn_resets",
+    "server.slow_loris": "server.chaos.slow_loris_stalls",
+    "server.truncate_body": "server.chaos.truncated",
+    "server.oversize_body": "server.chaos.oversized",
+    "server.executor_death": "server.chaos.executor_deaths",
+    "server.wal_stall": "server.chaos.wal_stalls",
+}
+
+#: Garbage appended to a response under ``server.oversize_body`` — large
+#: enough to overflow any header buffer a naive client might reuse, and
+#: guaranteed not to parse as an HTTP status line.
+OVERSIZE_GARBAGE = b"\x00\xffGARBAGE" * 512
+
+
+class _Arm:
+    """One compiled server fault: probability draw + firing budget."""
+
+    __slots__ = ("probability", "remaining", "extra_latency")
+
+    def __init__(self, probability: float, count: int, extra_latency: float):
+        self.probability = probability
+        # count == 0 means unlimited (None sentinel).
+        self.remaining: Optional[int] = count if count > 0 else None
+        self.extra_latency = extra_latency
+
+
+class ChaosEngine:
+    """Compiled server-fault state: one armed draw stream per kind.
+
+    Built once per server from the ``--chaos`` plan; all decision
+    methods run on the event loop (single-threaded), so the draw order —
+    and therefore the whole chaos schedule — is a pure function of the
+    request/batch arrival order.
+    """
+
+    def __init__(self, plan: FaultPlan, metrics: MetricsRegistry):
+        self._metrics = metrics
+        self._arms: dict[str, list[_Arm]] = {}
+        self._rngs = {
+            kind: stream_rng(plan.seed, f"chaos:{kind}")
+            for kind in sorted(SERVER_KINDS)
+        }
+        for event in plan.events:
+            if event.kind in SERVER_KINDS:
+                self._arms.setdefault(event.kind, []).append(
+                    _Arm(event.probability, event.count, event.extra_latency)
+                )
+
+    def _fire(self, kind: str) -> Optional[_Arm]:
+        """One opportunity for ``kind``: draw, decrement, count, return
+        the arm that fired (or ``None``).
+
+        Exactly one draw happens per armed opportunity regardless of the
+        outcome, so exhausted budgets don't shift later decisions.
+        """
+        arms = self._arms.get(kind)
+        if not arms:
+            return None
+        draw = self._rngs[kind].random()
+        for arm in arms:
+            if arm.remaining is not None and arm.remaining <= 0:
+                continue
+            if draw < arm.probability:
+                if arm.remaining is not None:
+                    arm.remaining -= 1
+                self._metrics.counter(CHAOS_COUNTERS[kind]).inc()
+                return arm
+        return None
+
+    # -- connection-level faults ---------------------------------------
+    def connection_reset(self) -> bool:
+        """Reset this connection mid-response?"""
+        return self._fire("server.conn_reset") is not None
+
+    def read_stall(self) -> float:
+        """Seconds to stall before reading the next request (0 = none)."""
+        arm = self._fire("server.slow_loris")
+        return arm.extra_latency if arm is not None else 0.0
+
+    def truncate_body(self) -> bool:
+        """Cut this response body short of its declared length?"""
+        return self._fire("server.truncate_body") is not None
+
+    def oversize_body(self) -> bool:
+        """Append garbage bytes beyond this response's declared length?"""
+        return self._fire("server.oversize_body") is not None
+
+    # -- batch/WAL faults ----------------------------------------------
+    def executor_death(self) -> bool:
+        """Kill the batch executor before this batch runs?"""
+        return self._fire("server.executor_death") is not None
+
+    def wal_stall(self) -> float:
+        """Seconds to stall before this WAL append (0 = none)."""
+        arm = self._fire("server.wal_stall")
+        return arm.extra_latency if arm is not None else 0.0
+
+
+def chaos_engine(
+    plan: Optional[FaultPlan], metrics: MetricsRegistry
+) -> Optional[ChaosEngine]:
+    """Build an engine only when the plan actually arms server faults.
+
+    ``None`` (no plan, or a plan without ``server.*`` events) is the
+    chaos-free fast path: every server injection point is a single
+    ``is None`` check, mirroring how the simulator treats untargeted
+    components.
+    """
+    if plan is None:
+        return None
+    if not any(e.kind in SERVER_KINDS for e in plan.events):
+        return None
+    return ChaosEngine(plan, metrics)

@@ -12,12 +12,25 @@ trailers, no request chunking — and malformed input maps to a clean
 Shared by both sides: :class:`HttpClient` drives the same framing from
 the client end (one persistent connection per load-generator client),
 so the harness exercises the exact wire format real clients would.
+
+The client is *resilient by default*: transport failures (connection
+refused/reset, a response cut off mid-body — surfaced distinctly as
+:class:`TruncatedResponse`) are retried with bounded, seeded-jitter
+exponential backoff, and a per-endpoint :class:`CircuitBreaker` stops
+hammering an endpoint that keeps failing (open after N consecutive
+failures, one half-open probe per cooldown).  Retrying a ``POST
+/v1/submit`` is safe because the server deduplicates by point digest —
+an already-admitted submission coalesces instead of double-running.
+HTTP-level backpressure (``429`` + ``Retry-After``) is *not* retried
+here: it is returned to the caller, which owns the pacing policy.
 """
 
 from __future__ import annotations
 
 import asyncio
+import hashlib
 import json
+import time
 from dataclasses import dataclass, field
 from typing import Any, Optional
 from urllib.parse import parse_qs, urlsplit
@@ -25,12 +38,17 @@ from urllib.parse import parse_qs, urlsplit
 __all__ = [
     "MAX_BODY_BYTES",
     "HttpError",
+    "TruncatedResponse",
+    "CircuitOpen",
+    "CircuitBreaker",
     "HttpRequest",
     "HttpResponse",
     "read_request",
     "write_response",
     "json_response",
     "error_response",
+    "encode_chunk",
+    "read_chunked_body",
     "HttpClient",
 ]
 
@@ -62,6 +80,21 @@ class HttpError(Exception):
         super().__init__(message)
         self.status = status
         self.message = message
+
+
+class TruncatedResponse(ConnectionError):
+    """The peer closed the connection mid-body.
+
+    Distinct from a clean EOF between responses: the headers promised
+    more bytes (``Content-Length`` short, or a chunked stream that never
+    reached its terminal chunk) than arrived.  Subclasses
+    :class:`ConnectionError` so the client's retry machinery engages —
+    a truncated response is a transport failure, never data.
+    """
+
+
+class CircuitOpen(ConnectionError):
+    """The endpoint's circuit breaker is open; the request was not sent."""
 
 
 @dataclass
@@ -215,22 +248,174 @@ def encode_chunk(payload: bytes) -> bytes:
     return f"{len(payload):x}\r\n".encode("latin-1") + payload + b"\r\n"
 
 
+async def read_chunked_body(reader: asyncio.StreamReader) -> bytes:
+    """A whole ``Transfer-Encoding: chunked`` body, terminator included.
+
+    EOF anywhere before the terminal empty chunk is a
+    :class:`TruncatedResponse` — a chunked stream that just stops is a
+    dead peer, not a short body.  Malformed chunk framing (non-hex size,
+    missing CRLF) is a :class:`ConnectionError`: the connection state is
+    unrecoverable either way.
+    """
+    chunks: list[bytes] = []
+    total = 0
+    while True:
+        try:
+            size_line = await reader.readuntil(b"\r\n")
+        except (asyncio.IncompleteReadError, asyncio.LimitOverrunError):
+            raise TruncatedResponse(
+                "chunked body ended before its terminal chunk"
+            ) from None
+        try:
+            size = int(size_line.split(b";", 1)[0].strip(), 16)
+        except ValueError:
+            raise ConnectionError(
+                f"malformed chunk size line {size_line!r}"
+            ) from None
+        if size < 0:
+            raise ConnectionError(f"negative chunk size {size}")
+        total += size
+        if total > MAX_BODY_BYTES:
+            raise ConnectionError(
+                f"chunked body of {total}+ bytes exceeds the cap"
+            )
+        try:
+            if size:
+                chunks.append(await reader.readexactly(size))
+            tail = await reader.readexactly(2)
+        except asyncio.IncompleteReadError:
+            raise TruncatedResponse(
+                f"chunk of {size} bytes cut short"
+            ) from None
+        if tail != b"\r\n":
+            raise ConnectionError(f"chunk not CRLF-terminated: {tail!r}")
+        if size == 0:
+            return b"".join(chunks)
+
+
 # ----------------------------------------------------------------------
 # Client side
 # ----------------------------------------------------------------------
+def _backoff_delay(
+    key: str, attempt: int, base: float = 0.05, cap: float = 1.0
+) -> float:
+    """Jittered exponential backoff before retry ``attempt + 1``.
+
+    The jitter is seeded from ``(key, attempt)`` — same construction as
+    the supervisor's :func:`~repro.exec.supervise.backoff_delay` — so a
+    given client's retry schedule replays exactly while distinct
+    endpoints still decorrelate.
+    """
+    span = min(cap, base * (2.0**attempt))
+    digest = hashlib.sha256(f"{key}:{attempt}".encode()).digest()
+    fraction = int.from_bytes(digest[:8], "big") / 2**64
+    return span * (0.5 + 0.5 * fraction)
+
+
+def _endpoint_key(method: str, target: str) -> str:
+    """The circuit-breaker key for a request: method + path *family*.
+
+    Job and result fetches collapse onto one key per family (the job id
+    / digest segment is ``*``-ed out) — breakers track endpoint health,
+    and every job poll exercises the same server path.
+    """
+    path = target.split("?", 1)[0]
+    parts = path.split("/")
+    if len(parts) > 3 and parts[1] == "v1" and parts[2] in ("jobs", "results"):
+        suffix = "/events" if parts[-1] == "events" and len(parts) > 4 else ""
+        path = f"/v1/{parts[2]}/*{suffix}"
+    return f"{method} {path}"
+
+
+class CircuitBreaker:
+    """Consecutive-failure circuit breaker for one endpoint family.
+
+    Closed until ``threshold`` consecutive transport failures, then open
+    for ``cooldown`` seconds, then half-open: exactly one probe request
+    is let through per cooldown window — success closes the breaker,
+    failure re-opens it for a fresh cooldown.
+    """
+
+    __slots__ = ("threshold", "cooldown", "failures", "_opened_at", "_probing")
+
+    def __init__(self, threshold: int = 8, cooldown: float = 0.5):
+        if threshold < 1:
+            raise ValueError(f"threshold must be >= 1: {threshold}")
+        self.threshold = threshold
+        self.cooldown = cooldown
+        self.failures = 0
+        self._opened_at: Optional[float] = None
+        self._probing = False
+
+    @property
+    def state(self) -> str:
+        if self._opened_at is None:
+            return "closed"
+        elapsed = time.monotonic() - self._opened_at  # det: breaker cooldown clock, not simulated state
+        return "half_open" if elapsed >= self.cooldown else "open"
+
+    def allow(self) -> bool:
+        """May a request go out now?  (Claims the half-open probe slot.)"""
+        if self._opened_at is None:
+            return True
+        if self.state == "open" or self._probing:
+            return False
+        self._probing = True
+        return True
+
+    def record_success(self) -> None:
+        self.failures = 0
+        self._opened_at = None
+        self._probing = False
+
+    def record_failure(self) -> None:
+        self.failures += 1
+        self._probing = False
+        if self.failures >= self.threshold:
+            self._opened_at = time.monotonic()  # det: breaker cooldown clock, not simulated state
+
+
 class HttpClient:
     """One persistent keep-alive connection to the scheduling server.
 
     Deliberately tiny: JSON in, JSON out, no redirects, no TLS, no
     pipelining (one request in flight per connection — the load
     generator gets concurrency from many clients, not deep pipelines).
+
+    Transport failures retry up to ``retries`` times with seeded-jitter
+    backoff behind a per-endpoint-family :class:`CircuitBreaker`;
+    ``transport_retries`` counts them so the load harness can report
+    exactly how bumpy the run was.  Server digest-idempotency makes the
+    retried submits safe (see module docstring).
     """
 
-    def __init__(self, host: str, port: int):
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        retries: int = 3,
+        breaker_threshold: int = 8,
+        breaker_cooldown: float = 0.5,
+    ):
         self.host = host
         self.port = port
+        self.retries = retries
+        self.transport_retries = 0
+        self._breaker_threshold = breaker_threshold
+        self._breaker_cooldown = breaker_cooldown
+        self._breakers: dict[str, CircuitBreaker] = {}
         self._reader: Optional[asyncio.StreamReader] = None
         self._writer: Optional[asyncio.StreamWriter] = None
+
+    def breaker(self, method: str, target: str) -> CircuitBreaker:
+        """The breaker guarding ``method target``'s endpoint family."""
+        key = _endpoint_key(method, target)
+        breaker = self._breakers.get(key)
+        if breaker is None:
+            breaker = self._breakers[key] = CircuitBreaker(
+                self._breaker_threshold, self._breaker_cooldown
+            )
+        return breaker
 
     async def _connect(self) -> None:
         self._reader, self._writer = await asyncio.open_connection(
@@ -253,21 +438,44 @@ class HttpClient:
         doc: Any = None,
         headers: Optional[dict[str, str]] = None,
     ) -> tuple[int, dict[str, str], Any]:
-        """One round trip; returns ``(status, headers, parsed body)``.
+        """One logical request; returns ``(status, headers, parsed body)``.
 
-        Reconnects once if the pooled connection died between requests
-        (the server may close idle connections while draining).
+        Transport failures — connect refused, connection reset,
+        :class:`TruncatedResponse`, malformed framing — are retried up
+        to ``self.retries`` times with jittered backoff, reconnecting
+        each time.  A breaker held open by earlier failures raises
+        :class:`CircuitOpen` without touching the wire.  HTTP status
+        codes (429 included) are results, not failures: they return.
         """
-        for attempt in (0, 1):
-            if self._writer is None:
-                await self._connect()
+        breaker = self.breaker(method, target)
+        last: Optional[Exception] = None
+        for attempt in range(self.retries + 1):
+            if not breaker.allow():
+                raise CircuitOpen(
+                    f"circuit open for {_endpoint_key(method, target)} "
+                    f"after {breaker.failures} consecutive failures"
+                )
             try:
-                return await self._round_trip(method, target, doc, headers)
-            except (ConnectionError, asyncio.IncompleteReadError, OSError):
+                if self._writer is None:
+                    await self._connect()
+                result = await self._round_trip(method, target, doc, headers)
+            except (ConnectionError, asyncio.IncompleteReadError, OSError) as exc:
                 await self.close()
-                if attempt:
-                    raise
-        raise AssertionError("unreachable")
+                breaker.record_failure()
+                last = exc
+                if attempt < self.retries:
+                    self.transport_retries += 1
+                    await asyncio.sleep(
+                        _backoff_delay(
+                            f"{self.host}:{self.port}:{method} {target}",
+                            attempt,
+                        )
+                    )
+                continue
+            breaker.record_success()
+            return result
+        assert last is not None
+        raise last
 
     async def _round_trip(
         self,
@@ -305,8 +513,24 @@ class HttpClient:
                 break
             name, _sep, value = line.decode("latin-1").partition(":")
             response_headers[name.strip().lower()] = value.strip()
-        length = int(response_headers.get("content-length", "0"))
-        payload = await self._reader.readexactly(length) if length else b""
+        encoding = response_headers.get("transfer-encoding", "").lower()
+        if "chunked" in encoding:
+            payload = await read_chunked_body(self._reader)
+        else:
+            length = int(response_headers.get("content-length", "0"))
+            if length:
+                try:
+                    payload = await self._reader.readexactly(length)
+                except asyncio.IncompleteReadError as exc:
+                    # NOT a clean EOF: the headers promised `length`
+                    # bytes.  Distinguishing this is what arms retries
+                    # against mid-body connection drops.
+                    raise TruncatedResponse(
+                        f"response body cut short: got {len(exc.partial)} "
+                        f"of {length} bytes"
+                    ) from None
+            else:
+                payload = b""
         if response_headers.get("connection", "").lower() == "close":
             await self.close()
         parsed: Any = None

@@ -19,6 +19,14 @@ the client sleep the server's ``Retry-After`` (capped, so tests stay
 fast) and resubmit; only exhausted retries, transport errors, failed
 jobs, and invalid results count as failed requests.
 
+Resilience is accounted separately from failure: the report's
+``retried`` counts transport-level retries the :class:`HttpClient`
+absorbed, ``deduplicated`` counts 202s that coalesced onto an
+already-admitted job (digest idempotency — what makes those retries
+safe), and ``lost`` counts admissions whose terminal state was never
+observed.  ``lost`` is the one the kill-recover harness pins to zero:
+a crash may delay an accepted job, never lose it.
+
 The mix is sampled deterministically per (client, request) index, so two
 runs of the same configuration issue the same request stream.
 """
@@ -105,6 +113,12 @@ class _ClientTally:
     ok: int = 0
     failed: int = 0
     rejected_retries: int = 0  # 429s honored and resubmitted
+    retried: int = 0  # transport-level retries the HttpClient absorbed
+    deduplicated: int = 0  # 202s that coalesced onto an existing job
+    #: Admitted (202 received) but terminal state never observed — the
+    #: kill-recover harness asserts this stays zero: a crash may delay
+    #: an accepted job, never lose it.
+    lost: int = 0
     latencies_s: list[float] = field(default_factory=list)
     errors: list[str] = field(default_factory=list)
 
@@ -112,16 +126,49 @@ class _ClientTally:
 async def _drive_request(
     client: HttpClient, cfg: LoadgenConfig, doc: dict, tally: _ClientTally
 ) -> None:
-    """Submit one point, ride it to terminal state, validate the result."""
+    """Submit one point, ride it to terminal state, validate the result.
+
+    Transport failures that outlive the client's own retries are tallied
+    here — as ``failed`` always, and *additionally* as ``lost`` when the
+    server had already admitted the job (a 202 is a promise; losing one
+    is the failure mode the WAL exists to prevent).
+    """
     started = time.monotonic()  # det: load-harness latency clock, not simulated state
-    job_id: Optional[str] = None
+    admitted: list = []
+    ok_before = tally.ok
+    try:
+        await _submit_and_await(client, cfg, doc, tally, admitted)
+    except (ConnectionError, OSError, asyncio.IncompleteReadError) as exc:
+        tally.failed += 1
+        if admitted:
+            tally.lost += 1
+        tally.errors.append(f"transport: {type(exc).__name__}: {exc}")
+        return
+    if tally.ok > ok_before:
+        tally.latencies_s.append(time.monotonic() - started)  # det: load-harness latency clock, not simulated state
+
+
+async def _submit_and_await(
+    client: HttpClient,
+    cfg: LoadgenConfig,
+    doc: dict,
+    tally: _ClientTally,
+    admitted: list,
+) -> None:
+    """The request body of :func:`_drive_request`; appends the job id to
+    ``admitted`` the moment a 202 lands so the caller can classify a
+    later transport failure as a *lost* admission."""
     headers = {"X-Repro-Tenant": cfg.tenant}
+    job_id: Optional[str] = None
     for _attempt in range(_MAX_SUBMIT_ATTEMPTS):
         status, resp_headers, body = await client.request(
             "POST", "/v1/submit", doc=doc, headers=headers
         )
         if status == 202:
             job_id = body["job"]["id"]
+            admitted.append(job_id)
+            if body["job"].get("coalesced"):
+                tally.deduplicated += 1
             break
         if status == 429:
             tally.rejected_retries += 1
@@ -142,6 +189,7 @@ async def _drive_request(
         )
         if status != 200:
             tally.failed += 1
+            tally.lost += 1  # admitted, but we can no longer see it
             tally.errors.append(f"poll {job_id} -> {status}: {body}")
             return
         state = body["job"]["state"]
@@ -161,7 +209,6 @@ async def _drive_request(
         tally.errors.append(f"job {job_id} returned invalid result: {exc}")
         return
     tally.ok += 1
-    tally.latencies_s.append(time.monotonic() - started)  # det: load-harness latency clock, not simulated state
 
 
 async def _client_worker(
@@ -173,12 +220,9 @@ async def _client_worker(
             # Deterministic mix sampling: the (client, request) index
             # alone picks the point, so reruns issue the same stream.
             doc = cfg.mix[(index + j * cfg.clients) % len(cfg.mix)]
-            try:
-                await _drive_request(client, cfg, dict(doc), tally)
-            except (ConnectionError, OSError, asyncio.IncompleteReadError) as exc:
-                tally.failed += 1
-                tally.errors.append(f"transport: {type(exc).__name__}: {exc}")
+            await _drive_request(client, cfg, dict(doc), tally)
     finally:
+        tally.retried += client.transport_retries
         await client.close()
 
 
@@ -257,6 +301,9 @@ async def run_loadgen(cfg: LoadgenConfig) -> dict[str, Any]:
         "ok": ok,
         "failed": failed,
         "rejected_retries": sum(t.rejected_retries for t in tallies),
+        "retried": sum(t.retried for t in tallies),
+        "deduplicated": sum(t.deduplicated for t in tallies),
+        "lost": sum(t.lost for t in tallies),
         "warmed": warmed,
         "seconds": round(elapsed, 6),
         "rps": round(total / elapsed, 3) if elapsed > 0 else 0.0,

@@ -31,7 +31,20 @@ Design points:
 * **live telemetry** — every counter the load harness reports
   (``server.*``) lives in a :mod:`repro.obs` ``MetricsRegistry`` and is
   served at ``/v1/metrics`` as a standard snapshot, mergeable with
-  simulation snapshots by ``repro report``.
+  simulation snapshots by ``repro report``;
+* **durable admission WAL** (optional, ``wal_path``) — every accepted
+  submission is fsynced to a :class:`~repro.exec.journal.DurableJournal`
+  *before* its 202 leaves the server, and every terminal state follows
+  it; ``repro serve --recover`` replays accepted-but-unfinished jobs
+  under their original ids, and the content-addressed cache makes the
+  replayed results bit-identical (DESIGN.md §18);
+* **deterministic service chaos** (optional, ``chaos_plan``) — the
+  ``server.*`` events of a fault plan sabotage reads, responses, WAL
+  appends and batch executors via :mod:`repro.serve.chaos`, counted as
+  ``server.chaos.*``; without a plan the serving path is untouched;
+* **idle-bounded waiting** — long-polls and event streams are capped by
+  ``idle_timeout`` server-side, so abandoned clients cannot pin
+  connections through a graceful drain.
 
 The event loop stays responsive because simulation happens off-loop:
 each batch runs in a worker thread (``asyncio.to_thread``), and inside
@@ -64,6 +77,15 @@ from typing import Any, Callable, Optional
 from ..exec.cache import ResultCache, point_digest
 from ..exec.executor import ExperimentExecutor, RunPoint
 from ..exec.grid import figure_points
+from ..exec.journal import (
+    DurableJournal,
+    load_wal,
+    point_from_doc,
+    point_to_doc,
+    wal_admit,
+    wal_header,
+    wal_outcome,
+)
 from ..exec.serialize import run_result_to_dict
 from ..exec.supervise import (
     CampaignReport,
@@ -72,8 +94,10 @@ from ..exec.supervise import (
 )
 from ..experiments.config import ExperimentConfig
 from ..experiments.runner import POLICIES
+from ..faults.plan import FaultPlan
 from ..obs.metrics import MetricsRegistry
 from ..workloads import all_workloads
+from .chaos import CHAOS_COUNTERS, OVERSIZE_GARBAGE, chaos_engine
 from .http import (
     HttpError,
     HttpRequest,
@@ -105,6 +129,14 @@ DEFAULT_TENANT = "default"
 _TENANT_RE = re.compile(r"[A-Za-z0-9][A-Za-z0-9._-]{0,63}\Z")
 
 _DIGEST_RE = re.compile(r"[0-9a-f]{64}\Z")
+
+#: Job ids are ``j<seq>-<digest12>``; recovery parses the sequence back
+#: out so a restarted server never reissues a recovered id.
+_JOB_ID_RE = re.compile(r"j(\d{6})-[0-9a-f]{12}\Z")
+
+#: Times a job survives its batch executor dying under it
+#: (``server.executor_death`` chaos) before it fails for good.
+_MAX_REQUEUES = 5
 
 _JOB_LATENCY_BOUNDS = (0.01, 0.05, 0.1, 0.25, 0.5, 1.0, 2.0, 5.0, 15.0, 60.0)
 
@@ -168,6 +200,23 @@ class ServerConfig:
     verify: bool = True
     #: Terminal jobs kept addressable for polling, oldest evicted first.
     job_retention: int = 4096
+    #: Admission write-ahead log.  When set, every accepted submission
+    #: is fsynced here *before* its 202 leaves the server, and every
+    #: terminal state follows it — ``--recover`` replays the difference.
+    wal_path: Optional[Path] = None
+    #: Replay ``wal_path`` on start: accepted-but-unfinished jobs are
+    #: re-enqueued under their original ids.  Required (and implied by
+    #: ``repro serve --recover``) when the WAL already has records.
+    recover: bool = False
+    #: Fault plan whose ``server.*`` events sabotage the serving path
+    #: deterministically (see :mod:`repro.serve.chaos`).  ``None`` or a
+    #: plan without server events changes nothing at all.
+    chaos_plan: Optional[FaultPlan] = None
+    #: Server-side bound (seconds) on how long a long-poll waits and how
+    #: long an event stream sits silent (or a stalled reader keeps the
+    #: write buffer pinned) — dead clients cannot hold connections open
+    #: through a graceful drain.
+    idle_timeout: float = 30.0
 
     def __post_init__(self) -> None:
         if self.jobs < 1:
@@ -178,6 +227,12 @@ class ServerConfig:
             raise ValueError(f"queue_limit must be >= 1: {self.queue_limit}")
         if self.batch_max < 1:
             raise ValueError(f"batch_max must be >= 1: {self.batch_max}")
+        if self.idle_timeout <= 0:
+            raise ValueError(
+                f"idle_timeout must be > 0: {self.idle_timeout}"
+            )
+        if self.recover and self.wal_path is None:
+            raise ValueError("recover=True needs a wal_path to replay")
 
 
 class Job:
@@ -191,6 +246,7 @@ class Job:
         "label",
         "state",
         "submissions",
+        "requeues",
         "error",
         "result",
         "enqueued_at",
@@ -209,6 +265,7 @@ class Job:
         self.label = point.label()
         self.state = JOB_QUEUED
         self.submissions = 1
+        self.requeues = 0
         self.error: Optional[str] = None
         self.result: Optional[dict] = None
         self.enqueued_at = time.monotonic()  # det: serving latency measurement, not simulated state
@@ -231,6 +288,9 @@ class Job:
             "state": self.state,
             "submissions": self.submissions,
         }
+        if self.requeues:
+            # Only under chaos: chaos-free job docs stay byte-identical.
+            doc["requeues"] = self.requeues
         if self.error is not None:
             doc["error"] = self.error
         if include_result and self.result is not None:
@@ -347,6 +407,21 @@ class SchedulingServer:
             self.metrics.counter(name)
         self.metrics.gauge("server.queue_depth_peak")
         self.metrics.histogram("server.job_latency_s", _JOB_LATENCY_BOUNDS)
+        # WAL/recovery/chaos counters exist only when the feature is on:
+        # a plain server's /v1/metrics snapshot stays exactly what it
+        # was before these features existed.
+        if self.config.wal_path is not None:
+            for name in (
+                "server.wal.appends",
+                "server.wal.errors",
+                "server.recovery.replayed",
+                "server.recovery.skipped",
+            ):
+                self.metrics.counter(name)
+        self._chaos = chaos_engine(self.config.chaos_plan, self.metrics)
+        if self._chaos is not None:
+            for name in CHAOS_COUNTERS.values():
+                self.metrics.counter(name)
 
         self._queue: asyncio.Queue[Job] = asyncio.Queue(
             maxsize=self.config.queue_limit
@@ -361,13 +436,26 @@ class SchedulingServer:
         self._workers: list[asyncio.Task] = []
         self._connections: set[asyncio.Task] = set()
         self._run_batch_fn = run_batch_fn or self._run_batch
+        self._wal: Optional[DurableJournal] = None
+        self._wal_lock = asyncio.Lock()
+        self._wal_tasks: set[asyncio.Task] = set()
+        # Admissions whose WAL record is in flight: they hold queue room
+        # (reserved before the fsync await) without sitting in the queue.
+        self._pending_enqueues = 0
         self.port = self.config.port  # real port once bound
 
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
     async def start(self) -> None:
-        """Bind the listener and spawn the batch workers."""
+        """Open/replay the WAL, bind the listener, spawn the workers.
+
+        Recovery happens before the listener binds: every replayed job
+        is back in the queue (under its original id) before any client
+        can submit or poll.
+        """
+        if self.config.wal_path is not None:
+            self._open_wal()
         self._server = await asyncio.start_server(
             self._serve_connection, self.config.host, self.config.port
         )
@@ -376,6 +464,49 @@ class SchedulingServer:
             asyncio.get_running_loop().create_task(self._worker())
             for _ in range(self.config.workers)
         ]
+
+    def _open_wal(self) -> None:
+        path = Path(self.config.wal_path)
+        recovered = {}
+        populated = path.exists() and path.stat().st_size > 0
+        if populated and not self.config.recover:
+            raise ValueError(
+                f"admission WAL {path} already has records; start with "
+                "recover=True (repro serve --recover) to replay it, or "
+                "point --wal at a fresh file"
+            )
+        if self.config.recover and populated:
+            _header, recovered = load_wal(path)
+        self._wal = DurableJournal(path, header=wal_header())
+        if not recovered:
+            return
+        # Never reissue a recovered id, finished or not.
+        for wal_job in recovered.values():
+            seq = _JOB_ID_RE.fullmatch(wal_job.job_id)
+            if seq is not None:
+                self._seq = max(self._seq, int(seq.group(1)))
+        unfinished = [j for j in recovered.values() if j.unfinished]
+        if len(unfinished) > self._queue.maxsize:
+            self._queue = asyncio.Queue(maxsize=len(unfinished))
+        for wal_job in recovered.values():
+            if not wal_job.unfinished:
+                self.metrics.counter("server.recovery.skipped").inc()
+                continue
+            workload, policy, scheme, config = point_from_doc(
+                wal_job.point_doc
+            )
+            job = Job(
+                wal_job.job_id,
+                wal_job.tenant,
+                RunPoint(workload, policy, scheme, config),
+            )
+            self._active[(job.tenant, job.digest)] = job
+            self._remember(job)
+            self._queue.put_nowait(job)
+            self.metrics.counter("server.recovery.replayed").inc()
+        self.metrics.gauge("server.queue_depth_peak").max_update(
+            self._queue.qsize()
+        )
 
     def request_shutdown(self) -> None:
         """Begin a graceful drain (signal-handler safe)."""
@@ -390,6 +521,12 @@ class SchedulingServer:
             await self._server.wait_closed()
         # Let queued work finish: task_done() fires per processed job.
         await self._queue.join()
+        # Flush in-flight outcome records so a clean shutdown leaves a
+        # WAL with nothing to replay.
+        if self._wal_tasks:
+            await asyncio.gather(
+                *list(self._wal_tasks), return_exceptions=True
+            )
         self._stopped.set()
 
     async def wait_stopped(self) -> None:
@@ -416,6 +553,11 @@ class SchedulingServer:
                 await conn
             except asyncio.CancelledError:
                 pass
+        for task in list(self._wal_tasks):
+            task.cancel()
+        if self._wal is not None:
+            self._wal.close()
+            self._wal = None
 
     @property
     def address(self) -> str:
@@ -432,11 +574,20 @@ class SchedulingServer:
         )
         return max(1, min(60, int(estimate) + 1))
 
-    def submit(self, tenant: str, point: RunPoint) -> tuple[Job, bool]:
-        """Enqueue (or coalesce) one submission; ``(job, coalesced)``.
+    def _room_left(self) -> int:
+        return (
+            self._queue.maxsize
+            - self._queue.qsize()
+            - self._pending_enqueues
+        )
 
-        Raises :class:`Draining` during shutdown and :class:`QueueFull`
-        against the bounded queue (the 503/429 paths).
+    def _admit(self, tenant: str, point: RunPoint) -> tuple[Job, bool]:
+        """Synchronous admission decision: coalesce, reserve, or refuse.
+
+        Runs loop-confined with no awaits, so the coalescing check and
+        the room reservation are atomic against concurrent submissions.
+        The reserved job is *not* queued yet — :meth:`submit` does that
+        only after the WAL record (if any) is durable.
         """
         if self._draining:
             raise Draining()
@@ -446,24 +597,95 @@ class SchedulingServer:
         key = (tenant, digest)
         job = self._active.get(key)
         if job is not None and not job.terminal:
+            # The digest is the idempotency key: a client retrying an
+            # already-admitted submission lands here and deduplicates.
             job.submissions += 1
             self.metrics.counter("server.submissions").inc()
             self.metrics.counter("server.batched").inc()
             return job, True
+        if self._room_left() <= 0:
+            raise QueueFull(self._retry_after())
         self._seq += 1
         job = Job(f"j{self._seq:06d}-{digest[:12]}", tenant, point)
-        try:
-            self._queue.put_nowait(job)
-        except asyncio.QueueFull:
-            raise QueueFull(self._retry_after()) from None
         self._active[key] = job
         self._remember(job)
+        self._pending_enqueues += 1
         self.metrics.counter("server.submissions").inc()
+        return job, False
+
+    async def submit(
+        self, tenant: str, point: RunPoint
+    ) -> tuple[Job, bool]:
+        """Admit (or coalesce) one submission; ``(job, coalesced)``.
+
+        Raises :class:`Draining` during shutdown and :class:`QueueFull`
+        against the bounded queue (the 503/429 paths).  With a WAL
+        configured, the ``admit`` record is fsynced before the job
+        enters the queue — and therefore before any caller can send the
+        202 — so every admission the client ever hears about survives a
+        crash.  A failed WAL write withdraws the admission entirely:
+        the client gets a 500 and owes the server nothing.
+        """
+        job, coalesced = self._admit(tenant, point)
+        if coalesced:
+            return job, True
+        try:
+            if self._wal is not None:
+                await self._wal_append(
+                    wal_admit(
+                        job.id,
+                        job.tenant,
+                        job.digest,
+                        job.label,
+                        point_to_doc(
+                            point.workload,
+                            point.policy,
+                            point.scheme,
+                            point.config,
+                        ),
+                    )
+                )
+        except Exception:
+            self._active.pop((job.tenant, job.digest), None)
+            self._jobs.pop(job.id, None)
+            self._pending_enqueues -= 1
+            raise
+        self._pending_enqueues -= 1
+        self._queue.put_nowait(job)  # room was reserved in _admit
         self.metrics.counter("server.enqueued").inc()
         self.metrics.gauge("server.queue_depth_peak").max_update(
             self._queue.qsize()
         )
         return job, False
+
+    async def _wal_append(self, record: dict[str, Any]) -> None:
+        """Durably land one WAL record (fsync off-loop, appends in
+        lock-FIFO order; the chaos ``wal_stall`` hook bites first)."""
+        if self._chaos is not None:
+            stall = self._chaos.wal_stall()
+            if stall > 0:
+                await asyncio.sleep(stall)
+        assert self._wal is not None
+        async with self._wal_lock:
+            await asyncio.to_thread(self._wal.append, record)
+        self.metrics.counter("server.wal.appends").inc()
+
+    def _record_outcome(self, job: Job) -> None:
+        """Queue the terminal-state WAL record (fire-and-forget: losing
+        an outcome only costs recovery one cache-served replay)."""
+        task = asyncio.get_running_loop().create_task(
+            self._outcome_append(
+                wal_outcome(job.id, job.digest, job.state, job.error)
+            )
+        )
+        self._wal_tasks.add(task)
+        task.add_done_callback(self._wal_tasks.discard)
+
+    async def _outcome_append(self, record: dict[str, Any]) -> None:
+        try:
+            await self._wal_append(record)
+        except Exception:  # noqa: BLE001 — outcome durability is best-effort
+            self.metrics.counter("server.wal.errors").inc()
 
     def _remember(self, job: Job) -> None:
         self._jobs[job.id] = job
@@ -481,6 +703,8 @@ class SchedulingServer:
             job.finished_at = time.monotonic()  # det: serving latency measurement, not simulated state
             job.done.set()
             self._active.pop((job.tenant, job.digest), None)
+            if self._wal is not None:
+                self._record_outcome(job)
             self.metrics.histogram(
                 "server.job_latency_s", _JOB_LATENCY_BOUNDS
             ).observe(job.finished_at - job.enqueued_at)
@@ -511,6 +735,9 @@ class SchedulingServer:
             by_tenant.setdefault(job.tenant, []).append(job)
         for tenant in sorted(by_tenant):
             jobs = by_tenant[tenant]
+            if self._chaos is not None and self._chaos.executor_death():
+                self._requeue_or_fail(jobs)
+                continue
             started = time.monotonic()  # det: serving latency measurement, not simulated state
             try:
                 outcome = await asyncio.to_thread(
@@ -528,6 +755,29 @@ class SchedulingServer:
             )
             self._fold_stats(outcome)
             self._absorb_report(jobs, outcome.report)
+
+    def _requeue_or_fail(self, jobs: list[Job]) -> None:
+        """The batch executor died under these jobs: put each back in
+        the queue (bounded — a job that keeps landing under dying
+        executors eventually fails honestly)."""
+        for job in jobs:
+            job.requeues += 1
+            if job.requeues > _MAX_REQUEUES:
+                job.error = (
+                    f"batch executor died {job.requeues} times running "
+                    "this job"
+                )
+                self.metrics.counter("server.failed").inc()
+                self._transition(job, JOB_FAILED)
+                continue
+            try:
+                self._queue.put_nowait(job)
+            except asyncio.QueueFull:
+                job.error = "batch executor died and the queue is full"
+                self.metrics.counter("server.failed").inc()
+                self._transition(job, JOB_FAILED)
+                continue
+            self._transition(job, JOB_QUEUED)
 
     def _fold_stats(self, outcome: BatchOutcome) -> None:
         """Land one batch's executor/cache counters in server metrics."""
@@ -629,6 +879,10 @@ class SchedulingServer:
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
         while True:
+            if self._chaos is not None:
+                stall = self._chaos.read_stall()
+                if stall > 0:
+                    await asyncio.sleep(stall)
             try:
                 request = await read_request(reader)
             except HttpError as exc:
@@ -657,11 +911,59 @@ class SchedulingServer:
                 return  # the handler streamed and owns the connection
             response.close = response.close or not request.keep_alive
             try:
-                await write_response(writer, response)
+                forced_close = await self._write_maybe_sabotaged(
+                    writer, response
+                )
             except (ConnectionError, OSError):
                 return
-            if response.close:
+            if response.close or forced_close:
                 return
+
+    async def _write_maybe_sabotaged(
+        self, writer: asyncio.StreamWriter, response: HttpResponse
+    ) -> bool:
+        """Write one response, letting the chaos engine sabotage it.
+
+        Returns ``True`` when the sabotage consumed the connection.  With
+        no engine this is exactly :func:`write_response` — the chaos-free
+        wire bytes are untouched.
+        """
+        if self._chaos is None:
+            await write_response(writer, response)
+            return False
+        if self._chaos.connection_reset():
+            # Head plus half the body, then a hard abort (RST, not FIN):
+            # the client sees the connection die mid-response.
+            writer.write(
+                _head(response) + response.body[: len(response.body) // 2]
+            )
+            try:
+                await writer.drain()
+            except (ConnectionError, OSError):
+                pass
+            writer.transport.abort()
+            return True
+        if self._chaos.truncate_body():
+            # Full Content-Length declared, tail withheld, then close:
+            # the client must surface TruncatedResponse, never treat the
+            # EOF as a clean short body.
+            cut = len(response.body) - max(1, len(response.body) // 4)
+            writer.write(_head(response) + response.body[: max(0, cut)])
+            try:
+                await writer.drain()
+            except (ConnectionError, OSError):
+                pass
+            return True
+        if self._chaos.oversize_body():
+            # Declared length is honest but garbage follows it; the
+            # connection closes so the garbage is the last thing sent.
+            # A client that reads exactly Content-Length is unharmed —
+            # one that slurps until EOF chokes.
+            writer.write(_head(response) + response.body + OVERSIZE_GARBAGE)
+            await writer.drain()
+            return True
+        await write_response(writer, response)
+        return False
 
     async def _route(
         self, request: HttpRequest, writer: asyncio.StreamWriter
@@ -676,9 +978,9 @@ class SchedulingServer:
         if path == "/v1/metrics" and method == "GET":
             return json_response(200, self.metrics.snapshot())
         if path == "/v1/submit" and method == "POST":
-            return self._handle_submit(request)
+            return await self._handle_submit(request)
         if path == "/v1/grid" and method == "POST":
-            return self._handle_grid(request)
+            return await self._handle_grid(request)
         match = re.fullmatch(r"/v1/jobs/([^/]+)", path)
         if match and method == "GET":
             return await self._handle_job_poll(request, match.group(1))
@@ -704,32 +1006,34 @@ class SchedulingServer:
             "draining": self._draining,
             "active_jobs": len(self._active),
             "tracked_jobs": len(self._jobs),
+            "wal": self._wal is not None,
+            "chaos": self._chaos is not None,
         }
 
-    def _submit_parsed(
+    async def _submit_parsed(
         self, tenant: str, point: RunPoint
     ) -> tuple[Job, bool]:
         try:
-            return self.submit(tenant, point)
+            return await self.submit(tenant, point)
         except Draining:
             raise HttpError(503, "server is draining; not accepting work")
         except QueueFull as exc:
             self.metrics.counter("server.rejected").inc()
             raise _Backpressure(exc.retry_after)
 
-    def _handle_submit(self, request: HttpRequest) -> HttpResponse:
+    async def _handle_submit(self, request: HttpRequest) -> HttpResponse:
         doc = request.json()
         tenant = parse_tenant(request, doc)
         point = parse_point(doc, self.config.base_config)
         try:
-            job, coalesced = self._submit_parsed(tenant, point)
+            job, coalesced = await self._submit_parsed(tenant, point)
         except _Backpressure as bp:
             return bp.response()
         body = job.to_doc(include_result=False)
         body["coalesced"] = coalesced
         return json_response(202, {"job": body})
 
-    def _handle_grid(self, request: HttpRequest) -> HttpResponse:
+    async def _handle_grid(self, request: HttpRequest) -> HttpResponse:
         doc = request.json()
         if not isinstance(doc, dict):
             raise HttpError(400, "grid submission must be a JSON object")
@@ -755,14 +1059,13 @@ class SchedulingServer:
             for digest, p in zip(digests, points)
             if (tenant, digest) not in self._active
         }
-        room = self.config.queue_limit - self._queue.qsize()
-        if len(fresh) > room:
+        if len(fresh) > self._room_left():
             self.metrics.counter("server.rejected").inc()
             return _Backpressure(self._retry_after()).response()
         jobs = []
         for point in points:
             try:
-                job, coalesced = self._submit_parsed(tenant, point)
+                job, coalesced = await self._submit_parsed(tenant, point)
             except _Backpressure as bp:
                 return bp.response()  # racing submitter won the room
             body = job.to_doc(include_result=False)
@@ -785,7 +1088,14 @@ class SchedulingServer:
         wait_text = request.query.get("wait")
         if wait_text is not None and not job.terminal:
             try:
-                wait = min(60.0, max(0.0, float(wait_text)))
+                # The server-side idle timeout caps every long-poll: a
+                # dead client's connection cannot outlive it, so a
+                # graceful drain is never pinned by abandoned polls.
+                wait = min(
+                    60.0,
+                    self.config.idle_timeout,
+                    max(0.0, float(wait_text)),
+                )
             except ValueError:
                 raise HttpError(400, f"bad wait value {wait_text!r}")
             try:
@@ -800,8 +1110,16 @@ class SchedulingServer:
         writer: asyncio.StreamWriter,
         job_id: str,
     ) -> None:
-        """Chunked JSONL: one line per state change, until terminal."""
+        """Chunked JSONL: one line per state change, until terminal.
+
+        Doubly idle-bounded: a stream with no state change for
+        ``idle_timeout`` ends cleanly (terminal chunk; the client may
+        reconnect), and a reader too stalled to drain a write within
+        ``idle_timeout`` is aborted outright — either way a dead client
+        cannot pin the connection through a graceful drain.
+        """
         job = self._job_for(job_id)
+        idle = self.config.idle_timeout
         head = HttpResponse(
             status=200, content_type="application/jsonl", close=True
         )
@@ -813,10 +1131,17 @@ class SchedulingServer:
                 job.to_doc(include_result=job.terminal), sort_keys=True
             )
             writer.write(encode_chunk((line + "\n").encode("utf-8")))
-            await writer.drain()
+            try:
+                await asyncio.wait_for(writer.drain(), timeout=idle)
+            except asyncio.TimeoutError:
+                writer.transport.abort()  # stalled reader
+                return
             if job.terminal:
                 break
-            await changed.wait()
+            try:
+                await asyncio.wait_for(changed.wait(), timeout=idle)
+            except asyncio.TimeoutError:
+                break  # idle stream: close it; the client can reconnect
         writer.write(encode_chunk(b""))
         await writer.drain()
 

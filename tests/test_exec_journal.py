@@ -1,0 +1,198 @@
+"""Tests for the durable-journal substrate (``repro.exec.journal``).
+
+The :class:`DurableJournal` is the crash-safety primitive under both the
+campaign journal and the server's admission WAL, so these tests pin the
+durability contract directly: header-once semantics, per-record fsync
+appends, and a loader that survives a journal cut off at any byte.
+"""
+
+import pytest
+
+from repro.exec.journal import (
+    WAL_SCHEMA_VERSION,
+    DurableJournal,
+    load_wal,
+    point_from_doc,
+    point_to_doc,
+    wal_admit,
+    wal_header,
+    wal_outcome,
+)
+from repro.experiments import ExperimentConfig
+from repro.faults import FaultEvent, FaultPlan
+
+HEADER = {"kind": "test-journal", "schema": 1}
+
+
+class TestDurableJournal:
+    def test_fresh_file_requires_and_writes_header(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with pytest.raises(ValueError):
+            DurableJournal(path)
+        with DurableJournal(path, header=HEADER) as journal:
+            journal.append({"n": 1})
+            journal.append({"n": 2})
+        assert DurableJournal.load(path) == [HEADER, {"n": 1}, {"n": 2}]
+
+    def test_reopen_appends_without_second_header(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with DurableJournal(path, header=HEADER) as journal:
+            journal.append({"n": 1})
+        # Reopening an existing journal never rewrites the header, and
+        # needs none supplied.
+        with DurableJournal(path) as journal:
+            journal.append({"n": 2})
+        records = DurableJournal.load(path)
+        assert records == [HEADER, {"n": 1}, {"n": 2}]
+
+    def test_creates_parent_directories(self, tmp_path):
+        path = tmp_path / "deep" / "er" / "j.jsonl"
+        with DurableJournal(path, header=HEADER):
+            pass
+        assert path.exists()
+
+    def test_truncated_tail_is_skipped_not_fatal(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with DurableJournal(path, header=HEADER) as journal:
+            journal.append({"n": 1})
+        # A crash mid-write can only ever leave a partial *final* line.
+        with path.open("a", encoding="utf-8") as fh:
+            fh.write('{"n": 2, "cut off he')
+        assert DurableJournal.load(path) == [HEADER, {"n": 1}]
+
+    def test_every_prefix_of_a_journal_loads(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with DurableJournal(path, header=HEADER) as journal:
+            for n in range(3):
+                journal.append({"n": n})
+        raw = path.read_bytes()
+        cut_path = tmp_path / "cut.jsonl"
+        for cut in range(len(raw) + 1):
+            cut_path.write_bytes(raw[:cut])
+            records = DurableJournal.load(cut_path)
+            # Only complete lines survive, and they survive in order.
+            assert records == [HEADER, {"n": 0}, {"n": 1}, {"n": 2}][
+                : len(records)
+            ]
+
+    def test_append_counter(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with DurableJournal(path, header=HEADER) as journal:
+            assert journal.appended == 1  # the header itself
+            journal.append({"n": 1})
+            assert journal.appended == 2
+
+
+class TestPointDocRoundTrip:
+    def test_plain_point(self):
+        config = ExperimentConfig(workload_scale=0.05)
+        doc = point_to_doc("sar", "simple", True, config)
+        assert point_from_doc(doc) == ("sar", "simple", True, config)
+
+    def test_fault_plan_survives(self):
+        plan = FaultPlan(
+            events=(
+                FaultEvent(
+                    kind="disk.transient_errors",
+                    target="node0.disk1",
+                    time=1.0,
+                    duration=2.0,
+                    probability=0.5,
+                ),
+            ),
+            seed=7,
+        )
+        config = ExperimentConfig(workload_scale=0.05, fault_plan=plan)
+        doc = point_to_doc("hf", "default", False, config)
+        rebuilt = point_from_doc(doc)[3]
+        assert rebuilt == config
+        assert rebuilt.fault_plan == plan
+
+    def test_doc_is_json_plain(self):
+        import json
+
+        config = ExperimentConfig(workload_scale=0.05)
+        doc = point_to_doc("sar", "simple", False, config)
+        assert json.loads(json.dumps(doc)) == doc
+
+
+class TestAdmissionWal:
+    @staticmethod
+    def _admit(journal, job_id, digest="ab" * 32):
+        config = ExperimentConfig(workload_scale=0.05)
+        journal.append(
+            wal_admit(
+                job_id,
+                "default",
+                digest,
+                "sar/simple",
+                point_to_doc("sar", "simple", False, config),
+            )
+        )
+
+    def test_unfinished_jobs_are_the_open_admits(self, tmp_path):
+        path = tmp_path / "wal.jsonl"
+        with DurableJournal(path, header=wal_header()) as journal:
+            self._admit(journal, "j000001-" + "ab" * 6)
+            self._admit(journal, "j000002-" + "cd" * 6, digest="cd" * 32)
+            journal.append(
+                wal_outcome("j000001-" + "ab" * 6, "ab" * 32, "done")
+            )
+        header, jobs = load_wal(path)
+        assert header["schema"] == WAL_SCHEMA_VERSION
+        assert jobs["j000001-" + "ab" * 6].unfinished is False
+        assert jobs["j000001-" + "ab" * 6].state == "done"
+        open_jobs = [j for j in jobs.values() if j.unfinished]
+        assert [j.job_id for j in open_jobs] == ["j000002-" + "cd" * 6]
+        assert open_jobs[0].tenant == "default"
+        assert open_jobs[0].point_doc["workload"] == "sar"
+
+    def test_outcome_error_recorded(self, tmp_path):
+        path = tmp_path / "wal.jsonl"
+        with DurableJournal(path, header=wal_header()) as journal:
+            self._admit(journal, "j000001-" + "ab" * 6)
+            journal.append(
+                wal_outcome(
+                    "j000001-" + "ab" * 6, "ab" * 32, "failed", error="boom"
+                )
+            )
+        _header, jobs = load_wal(path)
+        assert jobs["j000001-" + "ab" * 6].state == "failed"
+
+    def test_schema_mismatch_raises(self, tmp_path):
+        path = tmp_path / "wal.jsonl"
+        with DurableJournal(
+            path, header={"kind": "admission-wal", "schema": 999}
+        ):
+            pass
+        with pytest.raises(ValueError, match="schema"):
+            load_wal(path)
+
+    def test_missing_header_raises(self, tmp_path):
+        path = tmp_path / "wal.jsonl"
+        with DurableJournal(path, header=HEADER):
+            pass  # wrong kind of journal entirely
+        with pytest.raises(ValueError, match="not an admission WAL"):
+            load_wal(path)
+
+    def test_malformed_admit_raises(self, tmp_path):
+        path = tmp_path / "wal.jsonl"
+        with DurableJournal(path, header=wal_header()) as journal:
+            journal.append({"kind": "admit", "job": "j1"})  # no tenant etc.
+        with pytest.raises(ValueError, match="malformed admit"):
+            load_wal(path)
+
+    def test_unknown_kinds_skipped(self, tmp_path):
+        path = tmp_path / "wal.jsonl"
+        with DurableJournal(path, header=wal_header()) as journal:
+            journal.append({"kind": "from-the-future", "x": 1})
+            self._admit(journal, "j000001-" + "ab" * 6)
+        _header, jobs = load_wal(path)
+        assert list(jobs) == ["j000001-" + "ab" * 6]
+
+    def test_outcome_for_unknown_job_ignored(self, tmp_path):
+        path = tmp_path / "wal.jsonl"
+        with DurableJournal(path, header=wal_header()) as journal:
+            journal.append(wal_outcome("j-ghost", "ab" * 32, "done"))
+        _header, jobs = load_wal(path)
+        assert jobs == {}

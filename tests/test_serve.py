@@ -13,6 +13,7 @@ releases it, making "two submissions while the first is in flight" and
 
 import asyncio
 import threading
+import time
 
 import pytest
 
@@ -508,6 +509,87 @@ class TestServerIntegration:
         asyncio.run(scenario())
 
 
+class TestIdleTimeout:
+    """Long-polls and event streams are bounded by ``idle_timeout`` —
+    a stalled or absent state change can't pin a connection forever."""
+
+    def test_long_poll_bounded_by_idle_timeout(self, tmp_path):
+        gate = threading.Event()
+        holder = {}
+
+        def gated(tenant, points):
+            gate.wait(30)
+            return holder["server"]._run_batch(tenant, points)
+
+        async def scenario():
+            async with Harness(
+                tmp_path, run_batch_fn=gated, idle_timeout=0.2
+            ) as h:
+                holder["server"] = h.server
+                _s, _h2, body = await h.submit(SUBMIT_SAR)
+                job_id = body["job"]["id"]
+                started = time.monotonic()
+                status, _h3, body = await h.client.request(
+                    "GET", f"/v1/jobs/{job_id}?wait=30"
+                )
+                elapsed = time.monotonic() - started
+                # The 30 s ask was clamped to the 0.2 s idle timeout and
+                # answered with the still-queued snapshot.
+                assert status == 200
+                assert body["job"]["state"] in ("queued", "running")
+                assert 0.1 <= elapsed < 5.0
+                gate.set()
+                done = await h.await_job(job_id)
+                assert done["state"] == "done"
+
+        asyncio.run(scenario())
+
+    def test_event_stream_closes_cleanly_on_idle(self, tmp_path):
+        gate = threading.Event()
+        holder = {}
+
+        def gated(tenant, points):
+            gate.wait(30)
+            return holder["server"]._run_batch(tenant, points)
+
+        async def scenario():
+            async with Harness(
+                tmp_path, run_batch_fn=gated, idle_timeout=0.2
+            ) as h:
+                holder["server"] = h.server
+                _s, _h2, body = await h.submit(SUBMIT_SAR)
+                job_id = body["job"]["id"]
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", h.server.port
+                )
+                try:
+                    writer.write(
+                        f"GET /v1/jobs/{job_id}/events HTTP/1.1\r\n"
+                        f"Host: x\r\n\r\n".encode()
+                    )
+                    await writer.drain()
+                    # No state change is coming (the batch is gated):
+                    # the server must close the stream, not hold it.
+                    raw = await asyncio.wait_for(reader.read(-1), timeout=10)
+                finally:
+                    writer.close()
+                    await writer.wait_closed()
+                text = raw.decode("utf-8")
+                assert "Transfer-Encoding: chunked" in text
+                # Clean chunked termination, snapshot only.
+                assert text.endswith("0\r\n\r\n")
+                states = [
+                    line for line in text.splitlines()
+                    if line.startswith("{")
+                ]
+                assert len(states) == 1
+                gate.set()
+                done = await h.await_job(job_id)
+                assert done["state"] == "done"
+
+        asyncio.run(scenario())
+
+
 class TestServerConfigValidation:
     @pytest.mark.parametrize(
         "overrides",
@@ -516,6 +598,7 @@ class TestServerConfigValidation:
             {"workers": 0},
             {"queue_limit": 0},
             {"batch_max": 0},
+            {"idle_timeout": 0},
         ],
     )
     def test_bad_knobs_rejected(self, overrides):

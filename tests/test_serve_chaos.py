@@ -1,0 +1,297 @@
+"""Tests for service-layer chaos (``repro.serve.chaos``) and the client
+resilience that survives it.
+
+Every test arms a fault with ``probability=1.0`` and a ``count`` budget,
+so the chaos schedule is exact: the fault fires on its first N
+opportunities and never again.  The resilient :class:`HttpClient` is the
+other half of the contract — requests still *succeed*, they just cost a
+retry, and the ``server.chaos.*`` counters prove the fault actually
+fired rather than the test passing vacuously.
+"""
+
+import asyncio
+
+from repro.experiments import ExperimentConfig
+from repro.faults import FaultEvent, FaultInjector, FaultPlan
+from repro.obs.metrics import MetricsRegistry
+from repro.serve import SchedulingServer, ServerConfig, chaos_engine
+from repro.serve.chaos import CHAOS_COUNTERS, ChaosEngine
+from repro.serve.http import CircuitBreaker, HttpClient
+
+TINY = ExperimentConfig(workload_scale=0.05)
+SUBMIT_SAR = {"workload": "sar", "policy": "simple", "scheme": False}
+
+
+def _plan(kind, *, probability=1.0, count=1, extra_latency=0.0, seed=11):
+    return FaultPlan(
+        events=(
+            FaultEvent(
+                kind=kind,
+                target="*",
+                probability=probability,
+                count=count,
+                extra_latency=extra_latency,
+            ),
+        ),
+        seed=seed,
+    )
+
+
+class _Harness:
+    """Ephemeral chaos server + resilient client for one scenario."""
+
+    def __init__(self, tmp_path, plan=None, **overrides):
+        overrides.setdefault("port", 0)
+        overrides.setdefault("cache_root", tmp_path / "cache")
+        overrides.setdefault("base_config", TINY)
+        self.server = SchedulingServer(
+            ServerConfig(chaos_plan=plan, **overrides)
+        )
+        self.client: HttpClient = None
+
+    async def __aenter__(self):
+        await self.server.start()
+        self.client = HttpClient("127.0.0.1", self.server.port)
+        return self
+
+    async def __aexit__(self, *exc):
+        await self.client.close()
+        await self.server.stop()
+
+    async def submit_and_finish(self, doc=SUBMIT_SAR):
+        status, _h, body = await self.client.request(
+            "POST", "/v1/submit", doc=doc
+        )
+        assert status == 202
+        job_id = body["job"]["id"]
+        for _ in range(40):
+            status, _h, body = await self.client.request(
+                "GET", f"/v1/jobs/{job_id}?wait=30"
+            )
+            assert status == 200
+            if body["job"]["state"] in ("done", "failed"):
+                return body["job"]
+        raise AssertionError(f"job {job_id} never finished")
+
+    def chaos_count(self, kind):
+        return self.server.metrics.counter(CHAOS_COUNTERS[kind]).value
+
+
+class TestChaosEngineUnit:
+    def test_no_plan_builds_no_engine(self):
+        assert chaos_engine(None, MetricsRegistry()) is None
+
+    def test_simulation_only_plan_builds_no_engine(self):
+        plan = FaultPlan(
+            events=(
+                FaultEvent(
+                    kind="disk.transient_errors",
+                    target="node0.disk1",
+                    time=1.0,
+                    duration=2.0,
+                    probability=0.5,
+                ),
+            ),
+            seed=3,
+        )
+        assert chaos_engine(plan, MetricsRegistry()) is None
+
+    def test_server_only_plan_is_invisible_to_the_simulator(self):
+        injector = FaultInjector(_plan("server.conn_reset"))
+        assert injector.injected == {}
+        assert injector.drive_state("node0.disk1") is None
+
+    def test_count_bounds_firings_exactly(self):
+        metrics = MetricsRegistry()
+        engine = ChaosEngine(_plan("server.conn_reset", count=2), metrics)
+        fired = [engine.connection_reset() for _ in range(10)]
+        assert fired[:2] == [True, True]
+        assert not any(fired[2:])
+        assert metrics.counter("server.chaos.conn_resets").value == 2
+
+    def test_same_seed_same_schedule(self):
+        plan = _plan("server.conn_reset", probability=0.5, count=0, seed=42)
+        first = ChaosEngine(plan, MetricsRegistry())
+        second = ChaosEngine(plan, MetricsRegistry())
+        draws = 50
+        assert [first.connection_reset() for _ in range(draws)] == [
+            second.connection_reset() for _ in range(draws)
+        ]
+
+    def test_kinds_draw_from_independent_streams(self):
+        plan = FaultPlan(
+            events=(
+                FaultEvent(
+                    kind="server.conn_reset",
+                    target="*",
+                    probability=0.5,
+                    count=0,
+                ),
+                FaultEvent(
+                    kind="server.truncate_body",
+                    target="*",
+                    probability=0.5,
+                    count=0,
+                ),
+            ),
+            seed=42,
+        )
+        # Interleaving truncate draws must not shift the reset schedule.
+        plain = ChaosEngine(plan, MetricsRegistry())
+        resets_alone = [plain.connection_reset() for _ in range(20)]
+        mixed = ChaosEngine(plan, MetricsRegistry())
+        resets_mixed = []
+        for _ in range(20):
+            mixed.truncate_body()
+            resets_mixed.append(mixed.connection_reset())
+        assert resets_alone == resets_mixed
+
+    def test_stall_kinds_report_their_latency(self):
+        engine = ChaosEngine(
+            _plan("server.slow_loris", extra_latency=0.25), MetricsRegistry()
+        )
+        assert engine.read_stall() == 0.25
+        assert engine.read_stall() == 0.0  # budget spent
+
+
+class TestChaosFreeServer:
+    def test_no_chaos_counters_without_a_plan(self, tmp_path):
+        async def scenario():
+            async with _Harness(tmp_path) as h:
+                _s, _h2, snap = await h.client.request("GET", "/v1/metrics")
+                chaos_keys = [
+                    k for k in snap["counters"] if k.startswith("server.chaos")
+                ]
+                assert chaos_keys == []
+                _s, _h2, status = await h.client.request("GET", "/v1/status")
+                assert status["chaos"] is False
+
+        asyncio.run(scenario())
+
+
+class TestConnectionFaults:
+    def test_conn_reset_is_retried_through(self, tmp_path):
+        async def scenario():
+            plan = _plan("server.conn_reset")
+            async with _Harness(tmp_path, plan) as h:
+                done = await h.submit_and_finish()
+                assert done["state"] == "done"
+                assert h.chaos_count("server.conn_reset") == 1
+                assert h.client.transport_retries >= 1
+
+        asyncio.run(scenario())
+
+    def test_truncated_body_is_retried_through(self, tmp_path):
+        async def scenario():
+            plan = _plan("server.truncate_body")
+            async with _Harness(tmp_path, plan) as h:
+                done = await h.submit_and_finish()
+                assert done["state"] == "done"
+                assert h.chaos_count("server.truncate_body") == 1
+                assert h.client.transport_retries >= 1
+
+        asyncio.run(scenario())
+
+    def test_oversize_body_does_not_corrupt_the_parse(self, tmp_path):
+        async def scenario():
+            plan = _plan("server.oversize_body")
+            async with _Harness(tmp_path, plan) as h:
+                # Content-Length framing shields the client: it reads
+                # exactly the declared body and never sees the garbage.
+                done = await h.submit_and_finish()
+                assert done["state"] == "done"
+                assert h.chaos_count("server.oversize_body") == 1
+
+        asyncio.run(scenario())
+
+    def test_slow_loris_stall_only_delays(self, tmp_path):
+        async def scenario():
+            plan = _plan("server.slow_loris", extra_latency=0.02)
+            async with _Harness(tmp_path, plan) as h:
+                status, _h2, _b = await h.client.request("GET", "/healthz")
+                assert status == 200
+                assert h.chaos_count("server.slow_loris") == 1
+
+        asyncio.run(scenario())
+
+
+class TestBatchAndWalFaults:
+    def test_executor_death_requeues_and_completes(self, tmp_path):
+        async def scenario():
+            plan = _plan("server.executor_death")
+            async with _Harness(tmp_path, plan) as h:
+                done = await h.submit_and_finish()
+                assert done["state"] == "done"
+                assert done["requeues"] == 1
+                assert h.chaos_count("server.executor_death") == 1
+                failed = h.server.metrics.counter("server.failed").value
+                assert failed == 0
+
+        asyncio.run(scenario())
+
+    def test_unbounded_executor_death_fails_the_job(self, tmp_path):
+        async def scenario():
+            plan = _plan("server.executor_death", count=0)  # unlimited
+            async with _Harness(tmp_path, plan) as h:
+                done = await h.submit_and_finish()
+                assert done["state"] == "failed"
+                assert "executor died" in done["error"]
+
+        asyncio.run(scenario())
+
+    def test_wal_stall_delays_but_never_loses_admissions(self, tmp_path):
+        async def scenario():
+            plan = _plan("server.wal_stall", extra_latency=0.02)
+            async with _Harness(
+                tmp_path, plan, wal_path=tmp_path / "wal.jsonl"
+            ) as h:
+                done = await h.submit_and_finish()
+                assert done["state"] == "done"
+                assert h.chaos_count("server.wal_stall") == 1
+                # The outcome append is fire-and-forget; give it a beat.
+                counter = h.server.metrics.counter("server.wal.appends")
+                for _ in range(100):
+                    if counter.value >= 2:
+                        break
+                    await asyncio.sleep(0.01)
+                assert counter.value >= 2  # admit + outcome both landed
+
+        asyncio.run(scenario())
+
+
+class TestCircuitBreaker:
+    def test_opens_after_threshold_and_blocks(self):
+        breaker = CircuitBreaker(threshold=3, cooldown=60.0)
+        assert breaker.state == "closed"
+        for _ in range(3):
+            assert breaker.allow()
+            breaker.record_failure()
+        assert breaker.state == "open"
+        assert not breaker.allow()  # still cooling down
+
+    def test_half_open_admits_one_probe_then_recovers(self):
+        # cooldown=0: an opened breaker is immediately half-open.
+        breaker = CircuitBreaker(threshold=1, cooldown=0.0)
+        breaker.record_failure()
+        assert breaker.state == "half_open"
+        assert breaker.allow()  # the probe
+        assert not breaker.allow()  # second caller waits on the probe
+        breaker.record_success()
+        assert breaker.state == "closed"
+        assert breaker.failures == 0
+
+    def test_failed_probe_reopens(self):
+        breaker = CircuitBreaker(threshold=1, cooldown=0.0)
+        breaker.record_failure()
+        assert breaker.allow()
+        breaker.record_failure()  # probe failed: fresh cooldown
+        assert breaker.allow()  # cooldown=0 so the next probe is due
+        assert not breaker.allow()
+
+    def test_client_keys_breakers_per_endpoint_family(self):
+        client = HttpClient("127.0.0.1", 1)
+        a = client.breaker("GET", "/v1/jobs/j000001-abcdef?wait=5")
+        b = client.breaker("GET", "/v1/jobs/j000099-123456")
+        c = client.breaker("POST", "/v1/submit")
+        assert a is b
+        assert a is not c

@@ -79,13 +79,18 @@ class TestInprocessLoadtest:
         )
         expected = {
             "clients", "requests_per_client", "requests", "ok", "failed",
-            "rejected_retries", "warmed", "seconds", "rps", "latency_ms",
+            "rejected_retries", "retried", "deduplicated", "lost",
+            "warmed", "seconds", "rps", "latency_ms",
             "cache_hit_rate", "batched", "simulated", "cache_hits",
             "queue_depth_peak", "errors",
         }
         assert set(report) == expected
         assert set(report["latency_ms"]) == {"p50", "p99", "mean", "max"}
         assert report["latency_ms"]["p99"] >= report["latency_ms"]["p50"]
+        # A clean single-client run needed no resilience machinery.
+        assert report["retried"] == 0
+        assert report["deduplicated"] == 0
+        assert report["lost"] == 0
 
     def test_cold_burst_simulates_at_least_once(self, tmp_path):
         report = asyncio.run(

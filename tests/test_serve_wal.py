@@ -1,0 +1,307 @@
+"""Crash-safety tests for the server's admission WAL.
+
+The contract under test: an admission record is fsynced *before* the 202
+leaves the server, so every admission a client ever hears about can be
+replayed — ``recover=True`` re-enqueues accepted-but-unfinished jobs
+under their original ids, and a warm content-addressed cache turns the
+replay into hits (bit-identical results, zero re-simulation).
+
+Crashes are simulated in-process by :func:`_crash`: tear the server down
+with no drain and no queue join — the WAL's fsynced lines are all that
+survive, which is exactly the SIGKILL situation.
+"""
+
+import asyncio
+import threading
+
+import pytest
+
+from repro.exec.journal import (
+    DurableJournal,
+    load_wal,
+    point_to_doc,
+    wal_admit,
+    wal_header,
+)
+from repro.experiments import ExperimentConfig
+from repro.serve import SchedulingServer, ServerConfig
+from repro.serve.http import HttpClient
+
+TINY = ExperimentConfig(workload_scale=0.05)
+SUBMIT_SAR = {"workload": "sar", "policy": "simple", "scheme": False}
+
+
+def _config(tmp_path, wal, **overrides):
+    overrides.setdefault("port", 0)
+    overrides.setdefault("cache_root", tmp_path / "cache")
+    overrides.setdefault("base_config", TINY)
+    return ServerConfig(wal_path=wal, **overrides)
+
+
+async def _crash(server: SchedulingServer) -> None:
+    """Kill a server the unclean way: no drain, no outcome flush."""
+    if server._server is not None:
+        server._server.close()
+        await server._server.wait_closed()
+    for task in (
+        server._workers
+        + list(server._connections)
+        + list(server._wal_tasks)
+    ):
+        task.cancel()
+    if server._wal is not None:
+        server._wal.close()
+        server._wal = None
+
+
+async def _await_done(client: HttpClient, job_id: str) -> dict:
+    for _ in range(40):
+        status, _h, body = await client.request(
+            "GET", f"/v1/jobs/{job_id}?wait=30"
+        )
+        assert status == 200
+        if body["job"]["state"] in ("done", "failed"):
+            return body["job"]
+    raise AssertionError(f"job {job_id} never reached a terminal state")
+
+
+class TestAdmissionDurability:
+    def test_admit_record_durable_before_202(self, tmp_path):
+        """By the time the 202 is observable, the admit line is on disk
+        — even though the job hasn't run (the batch gate is closed)."""
+        wal = tmp_path / "wal.jsonl"
+        gate = threading.Event()
+        holder = {}
+
+        def gated(tenant, points):
+            gate.wait(30)
+            return holder["server"]._run_batch(tenant, points)
+
+        async def scenario():
+            server = SchedulingServer(
+                _config(tmp_path, wal), run_batch_fn=gated
+            )
+            holder["server"] = server
+            await server.start()
+            client = HttpClient("127.0.0.1", server.port)
+            try:
+                status, _h, body = await client.request(
+                    "POST", "/v1/submit", doc=SUBMIT_SAR
+                )
+                assert status == 202
+                job_id = body["job"]["id"]
+
+                _header, jobs = load_wal(wal)
+                assert job_id in jobs
+                assert jobs[job_id].unfinished
+                assert jobs[job_id].point_doc["workload"] == "sar"
+
+                # An idempotent resubmission coalesces: no second admit.
+                status, _h2, body2 = await client.request(
+                    "POST", "/v1/submit", doc=SUBMIT_SAR
+                )
+                assert status == 202
+                assert body2["job"]["coalesced"] is True
+                assert body2["job"]["id"] == job_id
+                _header, jobs = load_wal(wal)
+                assert len(jobs) == 1
+
+                gate.set()
+                done = await _await_done(client, job_id)
+                assert done["state"] == "done"
+            finally:
+                await client.close()
+                await server.stop()
+
+            # A clean stop flushed the outcome: nothing left to replay.
+            _header, jobs = load_wal(wal)
+            assert jobs[job_id].state == "done"
+            assert not any(j.unfinished for j in jobs.values())
+
+        asyncio.run(scenario())
+
+    def test_status_and_metrics_expose_wal(self, tmp_path):
+        async def scenario():
+            server = SchedulingServer(_config(tmp_path, tmp_path / "w.jsonl"))
+            await server.start()
+            client = HttpClient("127.0.0.1", server.port)
+            try:
+                _s, _h, doc = await client.request("GET", "/v1/status")
+                assert doc["wal"] is True
+                assert doc["chaos"] is False
+                _s, _h, snap = await client.request("GET", "/v1/metrics")
+                assert snap["counters"]["server.wal.appends"] == 0
+                assert snap["counters"]["server.recovery.replayed"] == 0
+            finally:
+                await client.close()
+                await server.stop()
+
+        asyncio.run(scenario())
+
+
+class TestRecovery:
+    def test_sigkill_then_recover_completes_admitted_job(self, tmp_path):
+        """The tentpole: admit, crash before the batch runs, restart
+        with recover=True — the job comes back under its original id
+        and completes."""
+        wal = tmp_path / "wal.jsonl"
+        gate = threading.Event()
+
+        def stalled(tenant, points):
+            gate.wait(30)
+            raise RuntimeError("crash window held the batch")
+
+        async def scenario():
+            server1 = SchedulingServer(
+                _config(tmp_path, wal), run_batch_fn=stalled
+            )
+            await server1.start()
+            client1 = HttpClient("127.0.0.1", server1.port)
+            status, _h, body = await client1.request(
+                "POST", "/v1/submit", doc=SUBMIT_SAR
+            )
+            assert status == 202
+            job_id = body["job"]["id"]
+            await client1.close()
+            await _crash(server1)
+            gate.set()  # unblock the orphaned batch thread
+            for worker in server1._workers:
+                try:
+                    await worker
+                except (asyncio.CancelledError, RuntimeError):
+                    pass
+
+            _header, jobs = load_wal(wal)
+            assert jobs[job_id].unfinished  # the promise outlived the crash
+
+            server2 = SchedulingServer(
+                _config(tmp_path, wal, recover=True)
+            )
+            await server2.start()
+            client2 = HttpClient("127.0.0.1", server2.port)
+            try:
+                assert (
+                    server2.metrics.counter("server.recovery.replayed").value
+                    == 1
+                )
+                done = await _await_done(client2, job_id)
+                assert done["state"] == "done"
+                assert done["id"] == job_id
+                assert done["result"]["energy_joules"] > 0
+            finally:
+                await client2.close()
+                await server2.stop()
+
+            _header, jobs = load_wal(wal)
+            assert jobs[job_id].state == "done"
+
+        asyncio.run(scenario())
+
+    def test_recovered_cached_job_is_served_without_resimulation(
+        self, tmp_path
+    ):
+        """Replay against a warm cache: the recovered job completes as a
+        hit — bit-identical by construction, zero simulations."""
+        async def scenario():
+            # Pass 1: compute the point normally, warming the cache.
+            server1 = SchedulingServer(_config(tmp_path, None))
+            await server1.start()
+            client1 = HttpClient("127.0.0.1", server1.port)
+            try:
+                _s, _h, body = await client1.request(
+                    "POST", "/v1/submit", doc=SUBMIT_SAR
+                )
+                first = await _await_done(client1, body["job"]["id"])
+                assert first["state"] == "done"
+            finally:
+                await client1.close()
+                await server1.stop()
+
+            # Hand-craft a WAL claiming that point was admitted but
+            # never finished — the post-crash state.
+            wal = tmp_path / "crash.jsonl"
+            job_id = f"j000009-{first['digest'][:12]}"
+            with DurableJournal(wal, header=wal_header()) as journal:
+                journal.append(
+                    wal_admit(
+                        job_id,
+                        "default",
+                        first["digest"],
+                        first["label"],
+                        point_to_doc("sar", "simple", False, TINY),
+                    )
+                )
+
+            server2 = SchedulingServer(_config(tmp_path, wal, recover=True))
+            await server2.start()
+            client2 = HttpClient("127.0.0.1", server2.port)
+            try:
+                done = await _await_done(client2, job_id)
+                assert done["state"] == "done"
+                assert done["result"] == first["result"]  # bit-identical
+                _s, _h, snap = await client2.request("GET", "/v1/metrics")
+                assert snap["counters"]["server.simulated"] == 0
+                assert snap["counters"]["server.cache_hits"] == 1
+                assert snap["counters"]["server.recovery.replayed"] == 1
+            finally:
+                await client2.close()
+                await server2.stop()
+
+        asyncio.run(scenario())
+
+    def test_clean_wal_replays_nothing_and_resumes_ids(self, tmp_path):
+        wal = tmp_path / "wal.jsonl"
+
+        async def scenario():
+            server1 = SchedulingServer(_config(tmp_path, wal))
+            await server1.start()
+            client1 = HttpClient("127.0.0.1", server1.port)
+            try:
+                _s, _h, body = await client1.request(
+                    "POST", "/v1/submit", doc=SUBMIT_SAR
+                )
+                first_id = body["job"]["id"]
+                await _await_done(client1, first_id)
+            finally:
+                await client1.close()
+                await server1.stop()
+
+            server2 = SchedulingServer(_config(tmp_path, wal, recover=True))
+            await server2.start()
+            client2 = HttpClient("127.0.0.1", server2.port)
+            try:
+                replayed = server2.metrics.counter(
+                    "server.recovery.replayed"
+                ).value
+                skipped = server2.metrics.counter(
+                    "server.recovery.skipped"
+                ).value
+                assert (replayed, skipped) == (0, 1)
+                # The sequence resumed past the recovered id: no reuse.
+                _s, _h, body = await client2.request(
+                    "POST",
+                    "/v1/submit",
+                    doc={"workload": "hf", "policy": "simple"},
+                )
+                assert body["job"]["id"] > first_id
+            finally:
+                await client2.close()
+                await server2.stop()
+
+        asyncio.run(scenario())
+
+    def test_populated_wal_without_recover_is_refused(self, tmp_path):
+        wal = tmp_path / "wal.jsonl"
+        with DurableJournal(wal, header=wal_header()):
+            pass
+
+        async def scenario():
+            server = SchedulingServer(_config(tmp_path, wal))
+            with pytest.raises(ValueError, match="recover"):
+                await server.start()
+
+        asyncio.run(scenario())
+
+    def test_recover_without_wal_path_is_a_config_error(self, tmp_path):
+        with pytest.raises(ValueError, match="wal_path"):
+            ServerConfig(recover=True)
