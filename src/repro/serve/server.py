@@ -131,8 +131,11 @@ _TENANT_RE = re.compile(r"[A-Za-z0-9][A-Za-z0-9._-]{0,63}\Z")
 _DIGEST_RE = re.compile(r"[0-9a-f]{64}\Z")
 
 #: Job ids are ``j<seq>-<digest12>``; recovery parses the sequence back
-#: out so a restarted server never reissues a recovered id.
-_JOB_ID_RE = re.compile(r"j(\d{6})-[0-9a-f]{12}\Z")
+#: out so a restarted server never reissues a recovered id.  The
+#: sequence is zero-padded to six digits but *widens* past j999999, so
+#: the parse must accept any width or recovery would stop advancing
+#: ``_seq`` and reissue colliding ids.
+_JOB_ID_RE = re.compile(r"j(\d{6,})-[0-9a-f]{12}\Z")
 
 #: Times a job survives its batch executor dying under it
 #: (``server.executor_death`` chaos) before it fails for good.
@@ -253,6 +256,8 @@ class Job:
         "finished_at",
         "done",
         "changed",
+        "wal_durable",
+        "wal_error",
     )
 
     def __init__(self, job_id: str, tenant: str, point: RunPoint):
@@ -274,6 +279,11 @@ class Job:
         # Replaced (and the old one set) on every state transition, so
         # streamers can await "the next change" without polling.
         self.changed = asyncio.Event()
+        # Set once the admit record is on disk (or no WAL is configured
+        # / the admission was withdrawn).  Coalesced submissions await
+        # it so no 202 ever leaves before the admission is durable.
+        self.wal_durable = asyncio.Event()
+        self.wal_error: Optional[str] = None
 
     @property
     def terminal(self) -> bool:
@@ -441,7 +451,11 @@ class SchedulingServer:
         self._wal_tasks: set[asyncio.Task] = set()
         # Admissions whose WAL record is in flight: they hold queue room
         # (reserved before the fsync await) without sitting in the queue.
+        # The event is set whenever the count is zero, so a drain can
+        # wait for in-flight admissions to land before joining the queue.
         self._pending_enqueues = 0
+        self._enqueues_idle = asyncio.Event()
+        self._enqueues_idle.set()
         self.port = self.config.port  # real port once bound
 
     # ------------------------------------------------------------------
@@ -500,6 +514,7 @@ class SchedulingServer:
                 wal_job.tenant,
                 RunPoint(workload, policy, scheme, config),
             )
+            job.wal_durable.set()  # it came *from* the WAL
             self._active[(job.tenant, job.digest)] = job
             self._remember(job)
             self._queue.put_nowait(job)
@@ -519,6 +534,12 @@ class SchedulingServer:
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
+        # A submission that passed _admit before the drain began may
+        # still be awaiting its WAL fsync; it will enqueue *after* a
+        # bare join() returns and strand an accepted job.  _draining is
+        # already set, so no new reservations can start — once the
+        # in-flight ones land (or withdraw), pending stays zero.
+        await self._enqueues_idle.wait()
         # Let queued work finish: task_done() fires per processed job.
         await self._queue.join()
         # Flush in-flight outcome records so a clean shutdown leaves a
@@ -610,8 +631,15 @@ class SchedulingServer:
         self._active[key] = job
         self._remember(job)
         self._pending_enqueues += 1
+        self._enqueues_idle.clear()
         self.metrics.counter("server.submissions").inc()
         return job, False
+
+    def _enqueue_settled(self) -> None:
+        """One in-flight admission landed or withdrew its reservation."""
+        self._pending_enqueues -= 1
+        if self._pending_enqueues == 0:
+            self._enqueues_idle.set()
 
     async def submit(
         self, tenant: str, point: RunPoint
@@ -624,10 +652,17 @@ class SchedulingServer:
         enters the queue — and therefore before any caller can send the
         202 — so every admission the client ever hears about survives a
         crash.  A failed WAL write withdraws the admission entirely:
-        the client gets a 500 and owes the server nothing.
+        the client gets a 500 and owes the server nothing.  A duplicate
+        that coalesces onto an admission whose WAL record is still in
+        flight waits for that record to become durable — it shares the
+        primary's 202, so it must also share its fsync (and its 500 if
+        the append fails).
         """
         job, coalesced = self._admit(tenant, point)
         if coalesced:
+            await job.wal_durable.wait()
+            if job.wal_error is not None:
+                raise RuntimeError(job.wal_error)
             return job, True
         try:
             if self._wal is not None:
@@ -645,12 +680,21 @@ class SchedulingServer:
                         ),
                     )
                 )
-        except Exception:
+        except BaseException as exc:
+            # BaseException: cancellation (connection teardown mid-fsync)
+            # must also withdraw the reservation, or a phantom job stays
+            # in _active for duplicates to coalesce onto forever.
             self._active.pop((job.tenant, job.digest), None)
             self._jobs.pop(job.id, None)
-            self._pending_enqueues -= 1
+            self._enqueue_settled()
+            job.wal_error = (
+                "admission withdrawn: WAL append failed "
+                f"({type(exc).__name__})"
+            )
+            job.wal_durable.set()  # wake coalescers into the error path
             raise
-        self._pending_enqueues -= 1
+        job.wal_durable.set()
+        self._enqueue_settled()
         self._queue.put_nowait(job)  # room was reserved in _admit
         self.metrics.counter("server.enqueued").inc()
         self.metrics.gauge("server.queue_depth_peak").max_update(

@@ -22,10 +22,12 @@ from repro.exec.journal import (
     point_to_doc,
     wal_admit,
     wal_header,
+    wal_outcome,
 )
 from repro.experiments import ExperimentConfig
 from repro.serve import SchedulingServer, ServerConfig
 from repro.serve.http import HttpClient
+from repro.serve.server import DEFAULT_TENANT, parse_point
 
 TINY = ExperimentConfig(workload_scale=0.05)
 SUBMIT_SAR = {"workload": "sar", "policy": "simple", "scheme": False}
@@ -305,3 +307,192 @@ class TestRecovery:
     def test_recover_without_wal_path_is_a_config_error(self, tmp_path):
         with pytest.raises(ValueError, match="wal_path"):
             ServerConfig(recover=True)
+
+    def test_wide_job_ids_parse_and_advance_the_sequence(self, tmp_path):
+        """Ids past j999999 widen (``j1000000-...``); recovery must
+        still parse them or a restart reissues colliding ids."""
+        wal = tmp_path / "wal.jsonl"
+        digest = "0" * 64
+        wide_id = f"j1000000-{digest[:12]}"
+        with DurableJournal(wal, header=wal_header()) as journal:
+            journal.append(
+                wal_admit(
+                    wide_id,
+                    DEFAULT_TENANT,
+                    digest,
+                    "sar/simple",
+                    point_to_doc("sar", "simple", False, TINY),
+                )
+            )
+            journal.append(wal_outcome(wide_id, digest, "done"))
+
+        async def scenario():
+            server = SchedulingServer(_config(tmp_path, wal, recover=True))
+            await server.start()
+            try:
+                assert server._seq == 1000000
+                job, _coalesced = await server.submit(
+                    DEFAULT_TENANT, parse_point(dict(SUBMIT_SAR), TINY)
+                )
+                assert job.id.startswith("j1000001-")
+            finally:
+                await server.stop()
+
+        asyncio.run(scenario())
+
+
+class _GatedJournal:
+    """Journal wrapper whose append blocks on a gate (and can fail), so
+    tests can hold a submission inside its WAL-fsync window."""
+
+    def __init__(self, inner: DurableJournal, gate: threading.Event):
+        self.inner = inner
+        self.gate = gate
+        self.fail = False
+
+    def append(self, record):
+        if not self.gate.wait(30):
+            raise AssertionError("test gate never released")
+        if self.fail:
+            raise OSError("simulated WAL device failure")
+        return self.inner.append(record)
+
+    def close(self):
+        self.inner.close()
+
+
+class TestInFlightAdmissions:
+    """The window between _admit and the fsync completing: coalescers,
+    drains, and cancellations must all respect the durability promise."""
+
+    def test_coalesced_202_waits_for_primary_fsync(self, tmp_path):
+        """A duplicate that coalesces onto an admission whose WAL write
+        is still in flight must not return before the record is on
+        disk — its 202 carries the same promise as the primary's."""
+        wal = tmp_path / "wal.jsonl"
+
+        async def scenario():
+            server = SchedulingServer(_config(tmp_path, wal))
+            await server.start()
+            gate = threading.Event()
+            server._wal = _GatedJournal(server._wal, gate)
+            point = parse_point(dict(SUBMIT_SAR), TINY)
+            try:
+                primary = asyncio.create_task(
+                    server.submit(DEFAULT_TENANT, point)
+                )
+                await asyncio.sleep(0.05)  # primary is inside the fsync
+                dup = asyncio.create_task(
+                    server.submit(DEFAULT_TENANT, point)
+                )
+                await asyncio.sleep(0.05)
+                assert not primary.done()
+                assert not dup.done()  # held until the record is durable
+                gate.set()
+                job, coalesced = await primary
+                dup_job, dup_coalesced = await dup
+                assert (coalesced, dup_coalesced) == (False, True)
+                assert dup_job is job
+                _header, jobs = load_wal(wal)
+                assert job.id in jobs  # durable before either returned
+            finally:
+                gate.set()
+                await server.stop()
+
+        asyncio.run(scenario())
+
+    def test_wal_failure_fails_coalescers_and_withdraws(self, tmp_path):
+        """A failed append withdraws the admission for *everyone*: the
+        primary re-raises, coalescers get a 500-shaped error, and the
+        reservation plus the phantom _active entry are rolled back."""
+        async def scenario():
+            server = SchedulingServer(
+                _config(tmp_path, tmp_path / "wal.jsonl")
+            )
+            await server.start()
+            gate = threading.Event()
+            gated = _GatedJournal(server._wal, gate)
+            gated.fail = True
+            server._wal = gated
+            point = parse_point(dict(SUBMIT_SAR), TINY)
+            try:
+                primary = asyncio.create_task(
+                    server.submit(DEFAULT_TENANT, point)
+                )
+                await asyncio.sleep(0.05)
+                dup = asyncio.create_task(
+                    server.submit(DEFAULT_TENANT, point)
+                )
+                await asyncio.sleep(0.05)
+                gate.set()
+                with pytest.raises(OSError):
+                    await primary
+                with pytest.raises(RuntimeError, match="withdrawn"):
+                    await dup
+                assert server._active == {}
+                assert server._pending_enqueues == 0
+                assert server._enqueues_idle.is_set()
+                # Once the WAL heals, the same point admits fresh.
+                gated.fail = False
+                job, coalesced = await server.submit(DEFAULT_TENANT, point)
+                assert coalesced is False
+            finally:
+                gate.set()
+                await server.stop()
+
+        asyncio.run(scenario())
+
+    def test_drain_waits_for_inflight_admission(self, tmp_path):
+        """A submission that passed admission before the drain began but
+        is still awaiting its fsync must be processed, not stranded —
+        a clean drain leaves a WAL with nothing unfinished."""
+        wal = tmp_path / "wal.jsonl"
+
+        async def scenario():
+            server = SchedulingServer(_config(tmp_path, wal))
+            await server.start()
+            gate = threading.Event()
+            server._wal = _GatedJournal(server._wal, gate)
+            point = parse_point(dict(SUBMIT_SAR), TINY)
+            pending = asyncio.create_task(
+                server.submit(DEFAULT_TENANT, point)
+            )
+            await asyncio.sleep(0.05)  # inside the fsync window
+            server.request_shutdown()
+            await asyncio.sleep(0.05)
+            assert not server._stopped.is_set()  # drain is waiting on it
+            gate.set()
+            job, _coalesced = await pending
+            await server.wait_stopped()
+            assert job.state == "done"  # processed, not stranded
+            _header, jobs = load_wal(wal)
+            assert not any(j.unfinished for j in jobs.values())
+            await server.stop()
+
+        asyncio.run(scenario())
+
+    def test_cancelled_submit_withdraws_reservation(self, tmp_path):
+        """Cancellation mid-append (connection teardown) must roll back
+        like a failure: no leaked reservation, no phantom job that
+        later duplicates coalesce onto but that never runs."""
+        async def scenario():
+            server = SchedulingServer(
+                _config(tmp_path, tmp_path / "wal.jsonl")
+            )
+            await server.start()
+            gate = threading.Event()
+            server._wal = _GatedJournal(server._wal, gate)
+            point = parse_point(dict(SUBMIT_SAR), TINY)
+            task = asyncio.create_task(server.submit(DEFAULT_TENANT, point))
+            await asyncio.sleep(0.05)  # inside the fsync window
+            task.cancel()
+            with pytest.raises(asyncio.CancelledError):
+                await task
+            assert server._active == {}
+            assert len(server._jobs) == 0
+            assert server._pending_enqueues == 0
+            assert server._enqueues_idle.is_set()
+            gate.set()  # release the orphaned fsync thread
+            await server.stop()
+
+        asyncio.run(scenario())
